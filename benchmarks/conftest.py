@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (fewer random systems, smaller GA budget) so the whole suite completes
+in minutes; the ``ExperimentConfig.paper_scale()`` configuration reproduces
+the full-size evaluation when more compute is available.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """The reduced-scale experiment configuration shared by the benchmarks."""
+    return ExperimentConfig.quick()

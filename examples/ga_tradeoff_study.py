@@ -1,0 +1,49 @@
+"""GA trade-off study: the Psi/Upsilon Pareto front of one intensive system.
+
+Under intensive I/O it is impossible to start every job exactly on time, so
+the two objectives — the number of exactly-accurate jobs (Psi) and the overall
+quality (Upsilon) — start to trade off against each other.  This example runs
+the multi-objective GA on one heavily loaded single-device system, prints the
+whole Pareto front, and compares its extreme points against the heuristic
+(which maximises Psi only) and FPS (which ignores accuracy entirely).
+
+Run with ``python examples/ga_tradeoff_study.py``.
+"""
+
+from repro import FPSOfflineScheduler, GAConfig, GAScheduler, HeuristicScheduler
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+
+def main() -> None:
+    generator = SystemGenerator(GeneratorConfig(), rng=21)
+    task_set = generator.generate(0.7)
+    print(f"Intensive system: {len(task_set)} tasks, utilisation {task_set.utilisation:.2f}, "
+          f"{len(task_set.jobs())} jobs per hyper-period\n")
+
+    static = HeuristicScheduler().schedule_taskset(task_set)
+    fps = FPSOfflineScheduler().schedule_taskset(task_set)
+
+    ga = GAScheduler(GAConfig(population_size=80, generations=60, seed=7))
+    ga_result = ga.schedule_taskset(task_set)
+
+    print(f"{'method':<22} {'Psi':>6} {'Upsilon':>8}")
+    print(f"{'FPS-offline':<22} {fps.psi:>6.3f} {fps.upsilon:>8.3f}")
+    print(f"{'heuristic (static)':<22} {static.psi:>6.3f} {static.upsilon:>8.3f}")
+    print(f"{'GA (preferred point)':<22} {ga_result.psi:>6.3f} {ga_result.upsilon:>8.3f}")
+
+    print("\nPer-device Pareto fronts found by the GA (Psi, Upsilon):")
+    for device, device_result in ga_result.per_device.items():
+        front = sorted(device_result.info.get("pareto_front", []))
+        points = ", ".join(f"({p:.3f}, {u:.3f})" for p, u in front)
+        print(f"  {device}: {points}")
+        print(f"    best-Psi point:     Psi {device_result.info.get('best_psi', 0):.3f} "
+              f"(Upsilon {device_result.info.get('best_psi_upsilon', 0):.3f})")
+        print(f"    best-Upsilon point: Upsilon {device_result.info.get('best_upsilon', 0):.3f} "
+              f"(Psi {device_result.info.get('best_upsilon_psi', 0):.3f})")
+
+    print("\nReading: the GA matches the heuristic's Psi at one end of the front and "
+          "trades a few exactly-accurate jobs for higher overall quality at the other.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Many-core run-time simulation: dedicated controller vs CPU-instigated I/O.
+
+The example generates a synthetic multi-device timed-I/O workload with the
+paper's workload generator, schedules it with the heuristic, and then executes
+the schedule in two ways:
+
+1. on the dedicated I/O-controller model (global timer + scheduling table),
+   which reproduces the offline start times exactly;
+2. with every I/O request instigated by a remote CPU and carried over a 4x4
+   mesh NoC with background traffic, where per-hop latency and arbitration
+   jitter destroy the exact timing accuracy.
+
+It also demonstrates the controller's fault-recovery unit by injecting a
+missing I/O request for one task.
+
+Run with ``python examples/noc_controller_simulation.py``.
+"""
+
+from repro import HeuristicScheduler
+from repro.experiments.controller_sim import run_controller_sim
+from repro.experiments.stats import format_table
+from repro.hardware import FaultInjector, FaultSpec, IOController
+from repro.sim import Simulator
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+
+def fault_recovery_demo() -> None:
+    """Inject a missing request and show that only that task's jobs are skipped."""
+    generator = SystemGenerator(GeneratorConfig(n_devices=2), rng=5)
+    task_set = generator.generate(0.4)
+    offline = HeuristicScheduler().schedule_taskset(task_set)
+    if not offline.schedulable:
+        print("generated system not schedulable; skipping fault demo")
+        return
+
+    victim = task_set.tasks[0].name
+    injector = FaultInjector([FaultSpec(kind="missing-request", task_name=victim)])
+    controller = IOController(fault_injector=injector)
+    controller.preload_taskset(task_set)
+    controller.load_system_schedule({d: r.schedule for d, r in offline.per_device.items()})
+
+    # Request every task except the victim: the fault-recovery unit skips the
+    # victim's jobs and the rest of the schedule executes untouched.
+    requested = [
+        entry.job
+        for _, result in offline.per_device.items()
+        for entry in result.schedule.entries
+        if entry.job.task.name != victim
+    ]
+    run = controller.run(Simulator(), request_jobs=requested)
+    print(f"\nFault-recovery demo: task {victim!r} never requested")
+    print(f"  executed jobs: {run.executed_jobs}, skipped jobs: {run.skipped_jobs}, "
+          f"faults detected: {run.faults_detected}")
+    print(f"  remaining jobs still match the offline schedule: {run.matches_offline}")
+
+
+def main() -> None:
+    result = run_controller_sim(utilisation=0.5, seed=11)
+    print("Run-time execution of the same offline schedule (U = 0.5):")
+    print(format_table(result.rows()))
+    print(f"\nNoC I/O-request latency: mean {result.mean_noc_latency:.1f} us, "
+          f"max {result.max_noc_latency} us")
+    print("The dedicated controller preserves every offline start time; the "
+          "CPU-instigated path loses exactness (Psi ~ 0) because each request "
+          "pays mesh latency and arbitration jitter.")
+
+    fault_recovery_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in environments without the ``wheel`` package (legacy
+``pip install -e . --no-use-pep517`` path, needed on offline machines).
+"""
+
+from setuptools import setup
+
+setup()

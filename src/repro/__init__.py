@@ -1,0 +1,66 @@
+"""repro — reproduction of "Timing-Accurate General-Purpose I/O for Multi- and
+Many-Core Systems: Scheduling and Hardware Support" (Zhao et al., DAC 2020).
+
+The package provides:
+
+* ``repro.core`` — the timed I/O task/job model, quality curves, schedules and
+  the Psi/Upsilon timing-accuracy metrics;
+* ``repro.taskgen`` — the paper's synthetic workload generator;
+* ``repro.analysis`` — non-preemptive fixed-priority schedulability analysis
+  (the "FPS-online" baseline);
+* ``repro.scheduling`` — the offline schedulers: FPS-offline, GPIOCP (FIFO),
+  the heuristic "static" method (Algorithm 1) and the multi-objective GA;
+* ``repro.sim`` / ``repro.noc`` / ``repro.hardware`` — the discrete-event
+  substrate, NoC model and I/O-controller hardware model that execute the
+  offline schedules at run time, plus the hardware resource estimator;
+* ``repro.experiments`` — the harness regenerating every figure and table of
+  the paper's evaluation.
+"""
+
+from repro.core import (
+    IOJob,
+    IOTask,
+    LinearQualityCurve,
+    Schedule,
+    ScheduleEntry,
+    TaskSet,
+    make_task_ms,
+    psi,
+    upsilon,
+)
+from repro.scheduling import (
+    FPSOfflineScheduler,
+    GAConfig,
+    GAScheduler,
+    GPIOCPScheduler,
+    HeuristicScheduler,
+    ScheduleResult,
+    Scheduler,
+    SystemScheduleResult,
+)
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IOTask",
+    "IOJob",
+    "TaskSet",
+    "make_task_ms",
+    "LinearQualityCurve",
+    "Schedule",
+    "ScheduleEntry",
+    "psi",
+    "upsilon",
+    "Scheduler",
+    "ScheduleResult",
+    "SystemScheduleResult",
+    "FPSOfflineScheduler",
+    "GPIOCPScheduler",
+    "HeuristicScheduler",
+    "GAScheduler",
+    "GAConfig",
+    "SystemGenerator",
+    "GeneratorConfig",
+    "__version__",
+]

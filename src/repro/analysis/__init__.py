@@ -1,0 +1,29 @@
+"""Schedulability analysis for non-preemptive fixed-priority I/O scheduling.
+
+Provides the analytical worst-case response-time test used for the paper's
+"FPS-online" baseline (Figure 5), which follows the classic non-preemptive
+fixed-priority analysis with blocking from lower-priority jobs (Davis et al.,
+"Controller Area Network (CAN) schedulability analysis", the paper's [18]).
+"""
+
+from repro.analysis.response_time import (
+    ResponseTimeResult,
+    blocking_time,
+    response_time,
+    response_time_analysis,
+)
+from repro.analysis.schedulability import (
+    FPSOnlineTest,
+    is_schedulable_fps_online,
+    necessary_utilisation_test,
+)
+
+__all__ = [
+    "blocking_time",
+    "response_time",
+    "response_time_analysis",
+    "ResponseTimeResult",
+    "FPSOnlineTest",
+    "is_schedulable_fps_online",
+    "necessary_utilisation_test",
+]

@@ -1,0 +1,65 @@
+"""System-level schedulability tests.
+
+``FPSOnlineTest`` is the paper's "FPS-online" baseline: a task set is deemed
+schedulable iff every task passes the non-preemptive fixed-priority
+response-time test on its device partition.  A necessary utilisation test is
+also provided (every partition must have utilisation <= 1), used as a fast
+pre-filter by several schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.response_time import ResponseTimeResult, response_time_analysis
+from repro.core.task import TaskSet
+
+
+def necessary_utilisation_test(task_set: TaskSet) -> bool:
+    """Necessary condition: every per-device partition has utilisation <= 1."""
+    return all(
+        partition.utilisation <= 1.0 + 1e-12
+        for partition in task_set.partition().values()
+    )
+
+
+@dataclass
+class FPSOnlineResult:
+    """Detailed outcome of the FPS-online schedulability test."""
+
+    schedulable: bool
+    per_task: Dict[str, ResponseTimeResult] = field(default_factory=dict)
+
+    @property
+    def failing_tasks(self) -> List[str]:
+        return [name for name, result in self.per_task.items() if not result.schedulable]
+
+
+class FPSOnlineTest:
+    """Analytical worst case of a dynamic non-preemptive FPS schedule.
+
+    This corresponds to the "FPS-online" curve in Figure 5 of the paper: the
+    run-time fixed-priority scheduler suffers blocking from already-started
+    lower-priority I/O jobs, so its worst-case schedulability is below that of
+    the offline (clairvoyant) FPS schedule.
+    """
+
+    name = "fps-online"
+
+    def analyse(self, task_set: TaskSet) -> FPSOnlineResult:
+        if len(task_set) == 0:
+            return FPSOnlineResult(schedulable=True)
+        if not necessary_utilisation_test(task_set):
+            return FPSOnlineResult(schedulable=False)
+        per_task = response_time_analysis(task_set)
+        schedulable = all(result.schedulable for result in per_task.values())
+        return FPSOnlineResult(schedulable=schedulable, per_task=per_task)
+
+    def is_schedulable(self, task_set: TaskSet) -> bool:
+        return self.analyse(task_set).schedulable
+
+
+def is_schedulable_fps_online(task_set: TaskSet) -> bool:
+    """Convenience wrapper around :class:`FPSOnlineTest`."""
+    return FPSOnlineTest().is_schedulable(task_set)

@@ -1,0 +1,45 @@
+"""Hyper-period arithmetic.
+
+The offline schedules produced by the paper's methods cover exactly one
+hyper-period of the pre-loaded I/O task set (Section II).  All time values
+are integers (microseconds), so the hyper-period is the least common multiple
+of the task periods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ValueError("lcm is only defined for positive integers")
+    return a // math.gcd(a, b) * b
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of positive integers."""
+    result = 1
+    seen = False
+    for value in values:
+        result = lcm(result, int(value))
+        seen = True
+    if not seen:
+        raise ValueError("lcm_many requires at least one value")
+    return result
+
+
+def hyperperiod(periods: Sequence[int]) -> int:
+    """Hyper-period (LCM of all periods) of a set of task periods."""
+    return lcm_many(periods)
+
+
+def jobs_in_hyperperiod(period: int, hp: int) -> int:
+    """Number of jobs a task with the given period releases in one hyper-period."""
+    if hp % period != 0:
+        raise ValueError(
+            f"hyper-period {hp} is not an integer multiple of period {period}"
+        )
+    return hp // period

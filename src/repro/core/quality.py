@@ -1,0 +1,99 @@
+"""Quality (value) curves for timed I/O jobs.
+
+Section II of the paper defines a timing-accuracy model in which each I/O job
+has an ideal start time.  Executing exactly at the ideal start time yields the
+maximum quality ``V_max``; executing within the timing boundary
+``[ideal - theta, ideal + theta]`` yields a quality that decays with the
+distance from the ideal start time; executing outside the boundary (but before
+the deadline) yields the minimum quality ``V_min``.
+
+The paper assumes a common *linear* decay curve (Figure 1) and notes that the
+exact curve is application-dependent.  :class:`LinearQualityCurve` implements
+the paper's curve; :class:`StepQualityCurve` is provided as an alternative
+(all-or-nothing accuracy) used in some ablation studies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class QualityCurve(ABC):
+    """Maps the distance between actual and ideal start time to a quality value."""
+
+    v_max: float
+    v_min: float
+
+    @abstractmethod
+    def value(self, start_time: int, ideal_start: int, theta: int) -> float:
+        """Quality obtained when a job starts at ``start_time``.
+
+        Parameters
+        ----------
+        start_time:
+            Actual start time of the job (microseconds, absolute).
+        ideal_start:
+            Ideal start time of the job (microseconds, absolute).
+        theta:
+            Half-width of the timing boundary (microseconds).
+        """
+
+    def normalised(self, start_time: int, ideal_start: int, theta: int) -> float:
+        """Quality normalised by the maximum achievable quality ``v_max``."""
+        if self.v_max == 0:
+            return 0.0
+        return self.value(start_time, ideal_start, theta) / self.v_max
+
+
+@dataclass(frozen=True)
+class LinearQualityCurve(QualityCurve):
+    """The paper's linear quality curve (Figure 1).
+
+    Quality is ``v_max`` at the ideal start time and decays linearly to
+    ``v_min`` at the edges of the timing boundary; outside the boundary the
+    quality is ``v_min`` (the job is still schedulable, just not beneficial
+    beyond the minimum).
+    """
+
+    v_max: float
+    v_min: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v_max < self.v_min:
+            raise ValueError(
+                f"v_max ({self.v_max}) must be >= v_min ({self.v_min})"
+            )
+
+    def value(self, start_time: int, ideal_start: int, theta: int) -> float:
+        distance = abs(int(start_time) - int(ideal_start))
+        if distance == 0:
+            return self.v_max
+        if theta <= 0 or distance >= theta:
+            return self.v_min
+        fraction = 1.0 - distance / theta
+        return self.v_min + (self.v_max - self.v_min) * fraction
+
+
+@dataclass(frozen=True)
+class StepQualityCurve(QualityCurve):
+    """All-or-nothing quality: ``v_max`` inside the boundary, ``v_min`` outside.
+
+    Not used by the paper's headline results but useful for ablations on the
+    sensitivity of the schedulers to the curve shape.
+    """
+
+    v_max: float
+    v_min: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v_max < self.v_min:
+            raise ValueError(
+                f"v_max ({self.v_max}) must be >= v_min ({self.v_min})"
+            )
+
+    def value(self, start_time: int, ideal_start: int, theta: int) -> float:
+        distance = abs(int(start_time) - int(ideal_start))
+        if distance <= theta:
+            return self.v_max
+        return self.v_min

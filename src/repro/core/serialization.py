@@ -1,0 +1,91 @@
+"""JSON (de)serialisation of task sets and schedules.
+
+Offline schedules are computed on a host and then loaded into the I/O
+controller (Phase 2 of the paper); in practice that means task sets and
+scheduling decisions need a stable on-disk/exchange format.  The format is
+deliberately plain JSON so that host tooling in any language can produce or
+consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.task import IOTask, TaskSet
+
+_TASK_FIELDS = (
+    "name",
+    "wcet",
+    "period",
+    "deadline",
+    "priority",
+    "ideal_offset",
+    "theta",
+    "device",
+    "v_max",
+    "v_min",
+    "offset",
+)
+
+
+def task_to_dict(task: IOTask) -> Dict[str, Any]:
+    """Plain-dict representation of one task (all times in microseconds)."""
+    return {field: getattr(task, field) for field in _TASK_FIELDS}
+
+
+def task_from_dict(data: Dict[str, Any]) -> IOTask:
+    """Inverse of :func:`task_to_dict`; unknown keys are rejected."""
+    unknown = set(data) - set(_TASK_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown task fields: {sorted(unknown)}")
+    return IOTask(**data)
+
+
+def taskset_to_dict(task_set: TaskSet) -> Dict[str, Any]:
+    return {"tasks": [task_to_dict(task) for task in task_set]}
+
+
+def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
+    return TaskSet([task_from_dict(entry) for entry in data["tasks"]])
+
+
+def taskset_to_json(task_set: TaskSet, *, indent: int = 2) -> str:
+    return json.dumps(taskset_to_dict(task_set), indent=indent)
+
+
+def taskset_from_json(text: str) -> TaskSet:
+    return taskset_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule: Schedule, task_set: TaskSet) -> Dict[str, Any]:
+    """Schedule as ``{device, entries: [{task, job, start}]}`` (tasks by name)."""
+    return {
+        "device": schedule.device,
+        "entries": [
+            {
+                "task": entry.job.task.name,
+                "job": entry.job.index,
+                "start": entry.start,
+            }
+            for entry in schedule.sorted_entries()
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any], task_set: TaskSet) -> Schedule:
+    """Rebuild a schedule against the given task set (tasks looked up by name)."""
+    schedule = Schedule(device=data.get("device"))
+    for entry in data["entries"]:
+        task = task_set.by_name(entry["task"])
+        schedule.add(ScheduleEntry(job=task.job(int(entry["job"])), start=int(entry["start"])))
+    return schedule
+
+
+def schedule_to_json(schedule: Schedule, task_set: TaskSet, *, indent: int = 2) -> str:
+    return json.dumps(schedule_to_dict(schedule, task_set), indent=indent)
+
+
+def schedule_from_json(text: str, task_set: TaskSet) -> Schedule:
+    return schedule_from_dict(json.loads(text), task_set)

@@ -1,0 +1,77 @@
+"""Configuration of the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.scheduling.ga import GAConfig
+from repro.taskgen import GeneratorConfig
+
+
+def _paper_utilisations() -> List[float]:
+    """The paper's sweep: 0.2 to 0.9 in steps of 0.05 (Figure 5)."""
+    return [round(0.2 + 0.05 * i, 2) for i in range(15)]
+
+
+def _accuracy_utilisations() -> List[float]:
+    """Figures 6-7 report U in {0.3, 0.4, 0.5, 0.6, 0.7}."""
+    return [0.3, 0.4, 0.5, 0.6, 0.7]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by the figure-regeneration experiments.
+
+    The defaults are sized for quick runs (CI, benchmarks); ``paper_scale``
+    returns the full configuration of the paper's evaluation (1000 systems per
+    utilisation point, GA with population 300 over 500 generations).
+    """
+
+    #: Utilisation points of the schedulability sweep (Figure 5).
+    schedulability_utilisations: Tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+    #: Utilisation points of the timing-accuracy sweep (Figures 6-7).
+    accuracy_utilisations: Tuple[float, ...] = (0.3, 0.4, 0.5, 0.6, 0.7)
+    #: Number of random systems generated per utilisation point.
+    n_systems: int = 20
+    #: Base RNG seed; each (utilisation, system index) pair derives its own stream.
+    seed: int = 2020
+    #: Synthetic-workload generator parameters.
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: GA search budget.
+    ga: GAConfig = field(default_factory=lambda: GAConfig(population_size=40, generations=25))
+    #: Whether to evaluate the GA at all (it dominates the run time).
+    include_ga: bool = True
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A minutes-scale configuration used by the benchmark harness."""
+        return cls(
+            schedulability_utilisations=(0.2, 0.4, 0.6, 0.8),
+            accuracy_utilisations=(0.3, 0.5, 0.7),
+            n_systems=8,
+            ga=GAConfig(population_size=24, generations=12),
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """A seconds-scale configuration used by unit/integration tests."""
+        return cls(
+            schedulability_utilisations=(0.3, 0.6),
+            accuracy_utilisations=(0.3, 0.6),
+            n_systems=3,
+            ga=GAConfig(population_size=12, generations=6),
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's full evaluation setup (hours of compute)."""
+        return cls(
+            schedulability_utilisations=tuple(_paper_utilisations()),
+            accuracy_utilisations=tuple(_accuracy_utilisations()),
+            n_systems=1000,
+            ga=GAConfig.paper_scale(),
+        )

@@ -1,0 +1,42 @@
+"""Figure 6 — Psi (fraction of exactly timing-accurate jobs) vs utilisation.
+
+The paper's Figure 6 reports, over schedulable systems with utilisations 0.3
+to 0.7, the fraction of I/O jobs that start exactly at their ideal start time
+under each offline method.  FPS never hits the ideal instant (Psi = 0); the
+static heuristic maximises Psi explicitly; the GA reports the best-Psi point
+of its Pareto front; GPIOCP degrades as load (and hence FIFO queueing) grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import AccuracySweepResult, ExperimentRunner, SweepResult
+
+
+def run_fig6(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    verbose: bool = False,
+    precomputed: Optional[AccuracySweepResult] = None,
+) -> SweepResult:
+    """Regenerate the Figure 6 Psi sweep.
+
+    ``precomputed`` lets callers share one accuracy sweep between Figures 6
+    and 7 (they use the same systems and schedules).
+    """
+    sweep = precomputed if precomputed is not None else ExperimentRunner(config).accuracy_sweep()
+    result = sweep.psi
+    if verbose:
+        print("Figure 6 — Psi (fraction of exactly timing-accurate jobs)")
+        print(result.to_table())
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    run_fig6(ExperimentConfig.quick(), verbose=True)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,38 @@
+"""Figure 7 — Upsilon (normalised total quality) vs utilisation.
+
+The paper's Figure 7 reports, over the same schedulable systems as Figure 6,
+the total obtained quality normalised by the maximum achievable quality.  The
+GA (best-Upsilon Pareto point) leads, the static heuristic follows (its
+sacrificed jobs are placed for schedulability only), GPIOCP degrades with
+load, and FPS is the worst since it ignores ideal start times altogether.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import AccuracySweepResult, ExperimentRunner, SweepResult
+
+
+def run_fig7(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    verbose: bool = False,
+    precomputed: Optional[AccuracySweepResult] = None,
+) -> SweepResult:
+    """Regenerate the Figure 7 Upsilon sweep (see :func:`run_fig6` for sharing)."""
+    sweep = precomputed if precomputed is not None else ExperimentRunner(config).accuracy_sweep()
+    result = sweep.upsilon
+    if verbose:
+        print("Figure 7 — Upsilon (normalised total quality)")
+        print(result.to_table())
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    run_fig7(ExperimentConfig.quick(), verbose=True)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

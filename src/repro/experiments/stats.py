@@ -1,0 +1,84 @@
+"""Small statistics and table-formatting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of one series of observations."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SeriesStats":
+        values = list(values)
+        if not values:
+            return cls(n=0, mean=float("nan"), std=0.0, minimum=float("nan"), maximum=float("nan"))
+        return cls(
+            n=len(values),
+            mean=mean(values),
+            std=std(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of an approximate normal confidence interval of the mean."""
+        if self.n == 0:
+            return float("nan")
+        return z * self.std / math.sqrt(self.n)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])

@@ -1,0 +1,114 @@
+"""Table I — hardware resource overhead of the evaluated I/O controllers.
+
+The structural resource estimator of :mod:`repro.hardware.resources` is used
+in place of FPGA synthesis (see DESIGN.md for the substitution rationale).
+``run_table1`` produces one row per design with both the modelled and the
+published values, plus the headline ratios the paper quotes in the text
+(proposed vs MicroBlaze-full LUTs/registers, vs GPIOCP, and the power ratios
+vs the MicroBlazes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.stats import format_table
+from repro.hardware.library import PrimitiveLibrary
+from repro.hardware.resources import (
+    PUBLISHED_TABLE1,
+    HardwareDesign,
+    ResourceEstimate,
+    estimate_all,
+    reference_designs,
+)
+
+#: Display order matching the paper's Table I.
+TABLE1_ORDER = (
+    "proposed",
+    "microblaze-basic",
+    "microblaze-full",
+    "uart",
+    "spi",
+    "can",
+    "gpiocp",
+)
+
+
+@dataclass
+class Table1Result:
+    """The regenerated Table I plus the headline ratios quoted in the paper."""
+
+    estimates: Dict[str, ResourceEstimate]
+    published: Dict[str, Dict[str, float]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for name in TABLE1_ORDER:
+            estimate = self.estimates[name]
+            published = self.published[name]
+            rows.append(
+                {
+                    "design": name,
+                    "luts": estimate.luts,
+                    "luts(paper)": published["luts"],
+                    "registers": estimate.registers,
+                    "regs(paper)": published["registers"],
+                    "dsps": estimate.dsps,
+                    "bram_kb": estimate.bram_kb,
+                    "power_mw": round(estimate.power_mw, 1),
+                    "power(paper)": published["power_mw"],
+                }
+            )
+        return rows
+
+    def to_table(self) -> str:
+        return format_table(self.rows())
+
+    # -- headline ratios quoted in Section V-B ----------------------------------
+
+    def ratios(self) -> Dict[str, float]:
+        proposed = self.estimates["proposed"]
+        mb_basic = self.estimates["microblaze-basic"]
+        mb_full = self.estimates["microblaze-full"]
+        gpiocp = self.estimates["gpiocp"]
+        return {
+            # "utilises significantly less hardware than a MB-F (23.6% LUTs, 22.4% registers)"
+            "luts_vs_mb_full": proposed.luts / mb_full.luts,
+            "registers_vs_mb_full": proposed.registers / mb_full.registers,
+            # "similar to a MB-B (135.4% LUTs, 185.6% registers)"
+            "luts_vs_mb_basic": proposed.luts / mb_basic.luts,
+            "registers_vs_mb_basic": proposed.registers / mb_basic.registers,
+            # "additional 30.5% LUTs, 52.2% registers" compared with GPIOCP
+            "extra_luts_vs_gpiocp": proposed.luts / gpiocp.luts - 1.0,
+            "extra_registers_vs_gpiocp": proposed.registers / gpiocp.registers - 1.0,
+            # "only 8.7% and 4.6% power ... compared to the MB-B and MB-F"
+            "power_vs_mb_basic": proposed.power_mw / mb_basic.power_mw,
+            "power_vs_mb_full": proposed.power_mw / mb_full.power_mw,
+        }
+
+
+def run_table1(
+    designs: Optional[Dict[str, HardwareDesign]] = None,
+    library: Optional[PrimitiveLibrary] = None,
+    *,
+    verbose: bool = False,
+) -> Table1Result:
+    """Regenerate Table I from the structural resource model."""
+    estimates = estimate_all(designs or reference_designs(), library)
+    result = Table1Result(estimates=estimates, published=dict(PUBLISHED_TABLE1))
+    if verbose:
+        print("Table I — hardware overhead of the evaluated I/O controllers")
+        print(result.to_table())
+        print()
+        for key, value in result.ratios().items():
+            print(f"  {key}: {value:.3f}")
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    run_table1(verbose=True)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

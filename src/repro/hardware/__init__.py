@@ -1,0 +1,65 @@
+"""Hardware support for the proposed I/O scheduling (Section IV of the paper).
+
+This sub-package models the dedicated I/O controller that executes the
+offline schedules at run time:
+
+* :class:`ControllerMemory` — stores the pre-loaded I/O tasks (Phase 1);
+* :class:`SchedulingTable` — per-processor table of scheduled start times
+  (Phase 2);
+* :class:`ControllerProcessor` — request channel, synchroniser, global timer,
+  fault-recovery unit, execution unit (EXU) and response channel (Phase 3);
+* :class:`IOController` — the complete controller (memory + one processor per
+  connected I/O device);
+* I/O device models (:mod:`repro.hardware.devices`) that record the actual
+  time of every operation, so the run-time timing accuracy can be measured;
+* a structural hardware resource estimator (:mod:`repro.hardware.resources`)
+  reproducing the shape of Table I.
+"""
+
+from repro.hardware.channels import ChannelMessage, RequestChannel, ResponseChannel
+from repro.hardware.controller import ControllerRunResult, IOController
+from repro.hardware.devices import CANDevice, GPIOPin, IODevice, SPIDevice, UARTDevice
+from repro.hardware.execution import ExecutionUnit, FaultRecoveryUnit, Synchroniser
+from repro.hardware.faults import FaultInjector, FaultSpec
+from repro.hardware.library import PrimitiveLibrary, ResourceCost
+from repro.hardware.memory import ControllerMemory, IOCommand, MemoryCapacityError
+from repro.hardware.processor import ControllerProcessor
+from repro.hardware.resources import (
+    PUBLISHED_TABLE1,
+    HardwareDesign,
+    ResourceEstimate,
+    reference_designs,
+)
+from repro.hardware.scheduling_table import SchedulingTable, TableEntry
+from repro.hardware.timer import GlobalTimer
+
+__all__ = [
+    "IOCommand",
+    "ControllerMemory",
+    "MemoryCapacityError",
+    "SchedulingTable",
+    "TableEntry",
+    "RequestChannel",
+    "ResponseChannel",
+    "ChannelMessage",
+    "GlobalTimer",
+    "ExecutionUnit",
+    "Synchroniser",
+    "FaultRecoveryUnit",
+    "ControllerProcessor",
+    "IOController",
+    "ControllerRunResult",
+    "IODevice",
+    "GPIOPin",
+    "UARTDevice",
+    "SPIDevice",
+    "CANDevice",
+    "FaultInjector",
+    "FaultSpec",
+    "ResourceCost",
+    "PrimitiveLibrary",
+    "HardwareDesign",
+    "ResourceEstimate",
+    "reference_designs",
+    "PUBLISHED_TABLE1",
+]

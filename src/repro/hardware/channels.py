@@ -1,0 +1,72 @@
+"""Request and response channels of a controller processor.
+
+The request channel carries run-time I/O requests from the application
+processors to the controller (setting the enable bits in the scheduling
+table); the response channel carries results (e.g. read data) back.  Both are
+FIFO queues with a fixed transport latency, matching "Port B"/"Port C" of the
+controller processor in Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ChannelMessage:
+    """A message travelling through a channel."""
+
+    sent_at: int
+    available_at: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class _FIFOChannel:
+    """A latency-modelled FIFO used by both channel directions."""
+
+    def __init__(self, latency: int = 1, capacity: Optional[int] = None):
+        if latency < 0:
+            raise ValueError("channel latency must be non-negative")
+        self.latency = latency
+        self.capacity = capacity
+        self._queue: Deque[ChannelMessage] = deque()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, time: int, kind: str, **payload: Any) -> Optional[ChannelMessage]:
+        """Enqueue a message at ``time``; it becomes visible after the latency.
+
+        Returns the message, or ``None`` if the channel is full (the drop is
+        counted — the fault-recovery unit reacts to missing requests).
+        """
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return None
+        message = ChannelMessage(
+            sent_at=int(time),
+            available_at=int(time) + self.latency,
+            kind=kind,
+            payload=dict(payload),
+        )
+        self._queue.append(message)
+        return message
+
+    def pop_available(self, time: int) -> List[ChannelMessage]:
+        """Dequeue every message whose latency has elapsed by ``time`` (FIFO order)."""
+        delivered: List[ChannelMessage] = []
+        while self._queue and self._queue[0].available_at <= time:
+            delivered.append(self._queue.popleft())
+        return delivered
+
+
+class RequestChannel(_FIFOChannel):
+    """Carries I/O requests (task enables) towards the controller processor."""
+
+
+class ResponseChannel(_FIFOChannel):
+    """Carries I/O responses (e.g. read data) back to the application CPUs."""

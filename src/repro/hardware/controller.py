@@ -1,0 +1,230 @@
+"""The complete I/O controller: controller memory + one processor per device.
+
+The controller realises the three phases of Section IV:
+
+1. **Pre-loading** — :meth:`IOController.preload_taskset` groups the I/O
+   commands of every timed I/O task and stores them in the controller memory;
+2. **Offline scheduling** — :meth:`IOController.load_system_schedule` stores
+   the start times produced by any of the offline schedulers into the
+   per-device scheduling tables;
+3. **Task execution** — :meth:`IOController.run` executes the schedule on a
+   discrete-event simulator; application CPUs enable each task through the
+   request channels, the synchronisers trigger the EXUs at the stored start
+   times, and the devices record the actual operation times.
+
+:class:`ControllerRunResult` compares the run-time behaviour against the
+offline schedule (the dedicated controller reproduces it exactly) and exposes
+the achieved Psi/Upsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.metrics import aggregate_psi, aggregate_upsilon
+from repro.core.schedule import Schedule, ScheduleEntry, SystemSchedule
+from repro.core.task import IOJob, IOTask, TaskSet
+from repro.hardware.devices import GPIOPin, IODevice
+from repro.hardware.faults import FaultInjector
+from repro.hardware.memory import ControllerMemory, IOCommand
+from repro.hardware.processor import ControllerProcessor
+from repro.sim.engine import Simulator
+
+#: Builds the command sequence of a task; the default is a single GPIO write
+#: lasting the task's WCET (the paper groups "continuous I/O commands" into
+#: one timed I/O operation).
+CommandBuilder = Callable[[IOTask], Sequence[IOCommand]]
+
+
+def default_command_builder(task: IOTask) -> List[IOCommand]:
+    """One ``toggle`` command occupying the device for the task's WCET."""
+    return [IOCommand(opcode="toggle", device=task.device, value=1, duration=task.wcet)]
+
+
+@dataclass
+class ControllerRunResult:
+    """Run-time outcome of executing an offline schedule on the controller."""
+
+    runtime_schedules: Dict[str, Schedule]
+    offline_schedules: Dict[str, Schedule]
+    executed_jobs: int
+    skipped_jobs: int
+    faults_detected: int
+
+    @property
+    def psi(self) -> float:
+        """Run-time Psi (fraction of jobs started exactly at their ideal times)."""
+        return aggregate_psi(self.runtime_schedules.values())
+
+    @property
+    def upsilon(self) -> float:
+        """Run-time Upsilon of the executed jobs."""
+        return aggregate_upsilon(self.runtime_schedules.values())
+
+    @property
+    def matches_offline(self) -> bool:
+        """True iff every executed job started exactly at its offline start time."""
+        for device, runtime in self.runtime_schedules.items():
+            offline = self.offline_schedules[device]
+            for entry in runtime.entries:
+                if entry.job not in offline:
+                    return False
+                if offline.start_of(entry.job) != entry.start:
+                    return False
+        return True
+
+    def start_time_deviations(self) -> List[int]:
+        """Per-job |runtime start - offline start| (all zeros for the dedicated controller)."""
+        deviations: List[int] = []
+        for device, runtime in self.runtime_schedules.items():
+            offline = self.offline_schedules[device]
+            for entry in runtime.entries:
+                if entry.job in offline:
+                    deviations.append(abs(entry.start - offline.start_of(entry.job)))
+        return deviations
+
+
+class IOController:
+    """The dedicated I/O controller of the paper, at functional simulation level."""
+
+    def __init__(
+        self,
+        memory_kb: int = 32,
+        *,
+        command_builder: CommandBuilder = default_command_builder,
+        request_latency: int = 1,
+        response_latency: int = 1,
+        missing_request_policy: str = "skip",
+        fault_injector: Optional[FaultInjector] = None,
+        device_factory: Optional[Callable[[str], IODevice]] = None,
+    ):
+        self.memory = ControllerMemory(capacity_kb=memory_kb)
+        self.command_builder = command_builder
+        self.request_latency = request_latency
+        self.response_latency = response_latency
+        self.missing_request_policy = missing_request_policy
+        self.fault_injector = fault_injector or FaultInjector()
+        self.device_factory = device_factory or (lambda name: GPIOPin(name))
+        self.processors: Dict[str, ControllerProcessor] = {}
+        self._tasks: Dict[str, IOTask] = {}
+        self._jobs_by_key: Dict[tuple, IOJob] = {}
+
+    # -- phase 1 ----------------------------------------------------------------
+
+    def preload_taskset(self, task_set: TaskSet) -> None:
+        """Store every task's command sequence in the controller memory."""
+        for task in task_set:
+            commands = list(self.command_builder(task))
+            total = sum(command.duration for command in commands)
+            if total != task.wcet:
+                raise ValueError(
+                    f"command sequence of task {task.name!r} lasts {total} but its "
+                    f"WCET is {task.wcet}"
+                )
+            self.memory.store(task.name, commands)
+            self._tasks[task.name] = task
+            self._ensure_processor(task.device)
+
+    def _ensure_processor(self, device_name: str) -> ControllerProcessor:
+        if device_name not in self.processors:
+            self.processors[device_name] = ControllerProcessor(
+                device=self.device_factory(device_name),
+                memory=self.memory,
+                request_latency=self.request_latency,
+                response_latency=self.response_latency,
+                fault_injector=self.fault_injector,
+                missing_request_policy=self.missing_request_policy,
+            )
+        return self.processors[device_name]
+
+    # -- phase 2 ----------------------------------------------------------------
+
+    def load_system_schedule(self, schedules: Dict[str, Schedule]) -> None:
+        """Store the offline scheduling decisions into the per-device tables."""
+        self._offline: Dict[str, Schedule] = {}
+        for device, schedule in schedules.items():
+            processor = self._ensure_processor(device)
+            processor.load_schedule(schedule)
+            self._offline[device] = schedule.copy()
+            for entry in schedule.entries:
+                self._jobs_by_key[entry.job.key] = entry.job
+
+    # -- phase 3 ----------------------------------------------------------------
+
+    def run(
+        self,
+        simulator: Optional[Simulator] = None,
+        horizon: Optional[int] = None,
+        *,
+        auto_request: bool = True,
+        request_jobs: Optional[Sequence[IOJob]] = None,
+    ) -> ControllerRunResult:
+        """Execute the loaded schedule and measure the run-time timing accuracy.
+
+        With ``auto_request`` (default) the application CPUs are modelled as
+        enabling every scheduled task through the request channel at the
+        release time of its first job; ``request_jobs`` can restrict requests
+        to a subset (jobs of un-requested tasks are then handled by the
+        fault-recovery unit).
+        """
+        if not hasattr(self, "_offline"):
+            raise RuntimeError("load_system_schedule() must be called before run()")
+        simulator = simulator or Simulator()
+
+        if auto_request:
+            requested = request_jobs
+            if requested is None:
+                requested = [
+                    entry.job
+                    for schedule in self._offline.values()
+                    for entry in schedule.entries
+                ]
+            for job in requested:
+                processor = self.processors[job.device]
+                send_at = job.release - self.request_latency
+                if send_at < 0:
+                    # The request would have to be sent before the simulation
+                    # starts; model it as already delivered (the application
+                    # enabled the task during system start-up).
+                    processor.table.enable(job.task.name)
+                else:
+                    processor.send_request(send_at, job.task.name)
+
+        for processor in self.processors.values():
+            processor.attach(simulator)
+
+        if horizon is None:
+            horizon = max(
+                (schedule.makespan for schedule in self._offline.values()), default=0
+            )
+        simulator.run(until=horizon)
+
+        return self._collect_results()
+
+    # -- results --------------------------------------------------------------------
+
+    def _collect_results(self) -> ControllerRunResult:
+        runtime: Dict[str, Schedule] = {}
+        executed = 0
+        skipped = 0
+        faults = 0
+        for device, processor in self.processors.items():
+            schedule = Schedule(device=device)
+            for record in processor.records:
+                if record.executed:
+                    job = self._jobs_by_key.get(record.entry.key)
+                    if job is not None:
+                        schedule.add(ScheduleEntry(job=job, start=record.started_at))
+                    executed += 1
+                else:
+                    skipped += 1
+            runtime[device] = schedule
+            faults += processor.fault_recovery.faults_detected
+        return ControllerRunResult(
+            runtime_schedules=runtime,
+            offline_schedules=dict(self._offline),
+            executed_jobs=executed,
+            skipped_jobs=skipped,
+            faults_detected=faults,
+        )

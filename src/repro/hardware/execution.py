@@ -1,0 +1,180 @@
+"""The execution module of a controller processor (Phase 3).
+
+Figure 4 of the paper divides the execution module into a global timer, a
+synchroniser, a fault-recovery unit and an execution unit (EXU):
+
+* the **synchroniser** watches the global timer and, when a scheduling-table
+  entry becomes due, translates the pre-loaded I/O task into executable
+  commands by reading the controller memory;
+* the **fault-recovery unit** handles run-time exceptions (an I/O request that
+  never arrived, a corrupted command sequence) without disturbing the rest of
+  the schedule;
+* the **EXU** drives the connected I/O device with the translated commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.devices import DeviceOperation, IODevice
+from repro.hardware.faults import FaultInjector
+from repro.hardware.memory import ControllerMemory, IOCommand
+from repro.hardware.scheduling_table import SchedulingTable, TableEntry
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class ExecutionRecord:
+    """The outcome of executing (or skipping) one scheduled job."""
+
+    entry: TableEntry
+    started_at: Optional[int]
+    finished_at: Optional[int]
+    operations: List[DeviceOperation] = field(default_factory=list)
+    skipped: bool = False
+    fault: Optional[str] = None
+
+    @property
+    def executed(self) -> bool:
+        return not self.skipped and self.started_at is not None
+
+
+class ExecutionUnit:
+    """The EXU: drives one I/O device with a translated command sequence."""
+
+    def __init__(self, device: IODevice):
+        self.device = device
+        self.jobs_executed = 0
+
+    def execute_job(
+        self, commands: List[IOCommand], time: int, job_key: Tuple[str, int]
+    ) -> Tuple[int, int, List[DeviceOperation]]:
+        """Execute the commands back-to-back starting at ``time``.
+
+        Returns ``(start, finish, operations)``.
+        """
+        if not commands:
+            raise ValueError("cannot execute an empty command sequence")
+        operations: List[DeviceOperation] = []
+        cursor = time
+        for command in commands:
+            operation = self.device.execute(command, cursor, job_key=job_key)
+            operations.append(operation)
+            cursor += command.duration
+        self.jobs_executed += 1
+        return time, cursor, operations
+
+
+class FaultRecoveryUnit:
+    """Detects and recovers from run-time exceptions of one controller processor."""
+
+    #: When a job's enable request has not arrived by its start time:
+    #: "skip" keeps the device idle (safe default); "execute" runs the job anyway.
+    def __init__(self, missing_request_policy: str = "skip"):
+        if missing_request_policy not in ("skip", "execute"):
+            raise ValueError("missing_request_policy must be 'skip' or 'execute'")
+        self.missing_request_policy = missing_request_policy
+        self.faults_detected = 0
+        self.jobs_skipped = 0
+        self.jobs_forced = 0
+        self.log: List[str] = []
+
+    def on_missing_request(self, entry: TableEntry) -> bool:
+        """Handle a due entry whose task was never requested; returns True to execute."""
+        self.faults_detected += 1
+        if self.missing_request_policy == "execute":
+            self.jobs_forced += 1
+            self.log.append(
+                f"missing request for {entry.task_name}[{entry.job_index}] at "
+                f"{entry.start_time}: executed anyway"
+            )
+            return True
+        self.jobs_skipped += 1
+        self.log.append(
+            f"missing request for {entry.task_name}[{entry.job_index}] at "
+            f"{entry.start_time}: skipped"
+        )
+        return False
+
+    def on_corrupted_commands(self, entry: TableEntry) -> bool:
+        """A corrupted command sequence must never reach the device."""
+        self.faults_detected += 1
+        self.jobs_skipped += 1
+        self.log.append(
+            f"corrupted commands for {entry.task_name}[{entry.job_index}]: skipped"
+        )
+        return False
+
+
+class Synchroniser:
+    """Triggers the timed execution of due scheduling-table entries."""
+
+    def __init__(
+        self,
+        table: SchedulingTable,
+        memory: ControllerMemory,
+        exu: ExecutionUnit,
+        fault_recovery: Optional[FaultRecoveryUnit] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        trace: Optional[TraceRecorder] = None,
+        name: str = "synchroniser",
+    ):
+        self.table = table
+        self.memory = memory
+        self.exu = exu
+        self.fault_recovery = fault_recovery or FaultRecoveryUnit()
+        self.fault_injector = fault_injector or FaultInjector()
+        self.trace = trace
+        self.name = name
+        self.records: List[ExecutionRecord] = []
+
+    def execute_due(self, time: int) -> List[ExecutionRecord]:
+        """Execute every table entry whose start time equals ``time``."""
+        new_records: List[ExecutionRecord] = []
+        for entry in self.table.due_entries(time):
+            record = self._execute_entry(entry, time)
+            self.records.append(record)
+            new_records.append(record)
+        return new_records
+
+    # -- internals -----------------------------------------------------------
+
+    def _execute_entry(self, entry: TableEntry, time: int) -> ExecutionRecord:
+        if self.fault_injector.has("corrupted-command", entry.task_name, entry.job_index):
+            self.fault_recovery.on_corrupted_commands(entry)
+            return self._skipped(entry, fault="corrupted-command")
+
+        if not self.table.is_enabled(entry.task_name):
+            if not self.fault_recovery.on_missing_request(entry):
+                return self._skipped(entry, fault="missing-request")
+
+        stored = self.memory.retrieve(entry.task_name)
+        start, finish, operations = self.exu.execute_job(stored.commands, time, entry.key)
+        if self.trace is not None:
+            self.trace.record(
+                start,
+                source=self.name,
+                kind="job-start",
+                task=entry.task_name,
+                job_index=entry.job_index,
+                scheduled=entry.start_time,
+                finish=finish,
+            )
+        return ExecutionRecord(
+            entry=entry, started_at=start, finished_at=finish, operations=operations
+        )
+
+    def _skipped(self, entry: TableEntry, fault: str) -> ExecutionRecord:
+        if self.trace is not None:
+            self.trace.record(
+                entry.start_time,
+                source=self.name,
+                kind="job-skipped",
+                task=entry.task_name,
+                job_index=entry.job_index,
+                fault=fault,
+            )
+        return ExecutionRecord(
+            entry=entry, started_at=None, finished_at=None, skipped=True, fault=fault
+        )

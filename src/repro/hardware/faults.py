@@ -1,0 +1,69 @@
+"""Fault injection for the controller's run-time fault-recovery unit.
+
+The synchroniser of the paper's controller processor contains a fault-recovery
+unit that handles run-time exceptions — e.g. an I/O request (task enable) that
+never arrives — while preserving the correctness of the scheduling behaviour.
+The :class:`FaultInjector` lets tests and experiments create those conditions
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Description of one injected fault.
+
+    ``kind`` is one of:
+
+    * ``"missing-request"`` — the enable request for a task is never delivered;
+    * ``"late-request"`` — the enable request arrives ``delay`` time units after
+      the job's scheduled start;
+    * ``"corrupted-command"`` — the stored command sequence of a task reads back
+      corrupted and must not be executed.
+    """
+
+    kind: str
+    task_name: str
+    job_index: Optional[int] = None
+    delay: int = 0
+
+    _VALID_KINDS = ("missing-request", "late-request", "corrupted-command")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._VALID_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {self._VALID_KINDS}"
+            )
+        if self.delay < 0:
+            raise ValueError("fault delay must be non-negative")
+
+
+class FaultInjector:
+    """Holds the set of faults to inject into one simulation run."""
+
+    def __init__(self, faults: Optional[List[FaultSpec]] = None):
+        self._faults: List[FaultSpec] = list(faults or [])
+
+    def add(self, fault: FaultSpec) -> None:
+        self._faults.append(fault)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def faults_for(self, task_name: str, job_index: Optional[int] = None) -> List[FaultSpec]:
+        """Faults applying to a task (and, when given, a specific job index)."""
+        selected = []
+        for fault in self._faults:
+            if fault.task_name != task_name:
+                continue
+            if fault.job_index is not None and job_index is not None and fault.job_index != job_index:
+                continue
+            selected.append(fault)
+        return selected
+
+    def has(self, kind: str, task_name: str, job_index: Optional[int] = None) -> bool:
+        return any(f.kind == kind for f in self.faults_for(task_name, job_index))

@@ -1,0 +1,37 @@
+"""The global timer of the I/O controller.
+
+The controller processors are physically connected to a shared global timer
+(Figure 3/4 of the paper); the synchroniser compares the timer value against
+the start times stored in the scheduling table to trigger timed executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GlobalTimer:
+    """A free-running timer with a configurable resolution (microseconds/tick)."""
+
+    resolution: int = 1
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError("timer resolution must be positive")
+
+    def set(self, time: int) -> None:
+        """Synchronise the timer to an absolute time (quantised to the resolution)."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        self.value = (int(time) // self.resolution) * self.resolution
+
+    def read(self) -> int:
+        return self.value
+
+    def ticks_until(self, time: int) -> int:
+        """Number of whole ticks from the current value to ``time`` (>= 0)."""
+        if time <= self.value:
+            return 0
+        return -(-(time - self.value) // self.resolution)

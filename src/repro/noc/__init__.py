@@ -1,0 +1,27 @@
+"""Network-on-Chip substrate.
+
+The paper deploys the I/O controller at the home port of a router in a
+NoC-based many-core system (Figure 3).  This sub-package provides a 2-D mesh
+NoC model — topology, XY routing, per-router arbitration and link latency —
+used to quantify the communication latency and jitter an I/O request suffers
+when it is instigated by a *remote CPU* rather than by the dedicated
+controller, which is the architectural motivation of the paper.
+"""
+
+from repro.noc.latency import CommunicationLatencyModel, worst_case_latency
+from repro.noc.network import NoCNetwork
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.routing import xy_route
+from repro.noc.topology import MeshTopology, NodeId
+
+__all__ = [
+    "MeshTopology",
+    "NodeId",
+    "Packet",
+    "Router",
+    "xy_route",
+    "NoCNetwork",
+    "CommunicationLatencyModel",
+    "worst_case_latency",
+]

@@ -1,0 +1,62 @@
+"""Analytical communication-latency bounds for NoC I/O requests.
+
+The paper motivates the dedicated controller by the substantial and variable
+on-chip communication latency of sending an I/O request from a CPU to an I/O
+controller across the mesh (Section I).  This module provides a simple
+worst-case latency model in the spirit of priority-unaware wormhole analysis:
+a base hop latency plus a contention term per shared link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.noc.packet import Packet
+from repro.noc.routing import xy_route
+from repro.noc.topology import MeshTopology, NodeId
+
+
+@dataclass(frozen=True)
+class CommunicationLatencyModel:
+    """Parameters of the analytical latency bound."""
+
+    routing_delay: int = 2
+    flit_delay: int = 1
+    injection_delay: int = 1
+    ejection_delay: int = 1
+
+    def no_contention_latency(self, hops: int, size_flits: int) -> int:
+        """Latency of a packet crossing ``hops`` links with no contention."""
+        per_hop = self.routing_delay + size_flits * self.flit_delay
+        return self.injection_delay + hops * per_hop + self.ejection_delay
+
+    def contention_bound(
+        self, hops: int, size_flits: int, interfering_sizes: Iterable[int]
+    ) -> int:
+        """Upper bound with each interfering packet blocking at most once per route.
+
+        This mirrors the single-blocking-per-link argument of FIFO-arbitrated
+        packet-switched meshes: every interfering packet can delay the request
+        by at most its own service time on one shared link.
+        """
+        base = self.no_contention_latency(hops, size_flits)
+        interference = sum(
+            self.routing_delay + size * self.flit_delay for size in interfering_sizes
+        )
+        return base + interference
+
+
+def worst_case_latency(
+    source: NodeId,
+    destination: NodeId,
+    topology: MeshTopology,
+    *,
+    size_flits: int = 4,
+    interfering_sizes: Iterable[int] = (),
+    model: CommunicationLatencyModel | None = None,
+) -> int:
+    """Worst-case latency bound of one request from ``source`` to ``destination``."""
+    model = model or CommunicationLatencyModel()
+    hops = len(xy_route(source, destination, topology)) - 1
+    return model.contention_bound(hops, size_flits, interfering_sizes)

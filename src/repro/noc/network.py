@@ -1,0 +1,101 @@
+"""The NoC network: topology + routers + packet transport."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.routing import xy_route
+from repro.noc.topology import MeshTopology, NodeId
+from repro.sim.trace import TraceRecorder
+
+
+class NoCNetwork:
+    """A 2-D mesh NoC with XY routing and per-link FIFO arbitration.
+
+    The network is used in two roles:
+
+    * **configuration traffic** — pre-loading I/O tasks and schedules into the
+      controller (Phases 1-2 of the paper), where latency is irrelevant;
+    * **run-time traffic** — I/O requests instigated by remote CPUs and I/O
+      responses travelling back, where the accumulated per-hop latency and
+      arbitration jitter are exactly what destroys timing accuracy when no
+      dedicated controller is used.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        *,
+        routing_delay: int = 2,
+        flit_delay: int = 1,
+        injection_delay: int = 1,
+        ejection_delay: int = 1,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.topology = topology
+        self.routers: Dict[NodeId, Router] = {
+            node: Router(node=node, routing_delay=routing_delay, flit_delay=flit_delay)
+            for node in topology.nodes()
+        }
+        self.injection_delay = injection_delay
+        self.ejection_delay = ejection_delay
+        self.trace = trace
+        self.delivered: List[Packet] = []
+
+    def router(self, node: NodeId) -> Router:
+        return self.routers[node]
+
+    def send(self, packet: Packet, time: int) -> int:
+        """Transport ``packet`` starting at ``time``; returns the delivery time.
+
+        The packet is injected at its source router, forwarded hop by hop along
+        the XY route (waiting whenever an output link is busy), and ejected at
+        the destination's home port.
+        """
+        packet.injected_at = int(time)
+        route = xy_route(packet.source, packet.destination, self.topology)
+        current_time = packet.injected_at + self.injection_delay
+
+        for hop_index in range(len(route) - 1):
+            router = self.routers[route[hop_index]]
+            next_node = route[hop_index + 1]
+            _, current_time = router.forward(packet, next_node, current_time)
+
+        current_time += self.ejection_delay
+        packet.delivered_at = current_time
+        self.delivered.append(packet)
+        if self.trace is not None:
+            self.trace.record(
+                current_time,
+                source=f"noc{packet.source}->{packet.destination}",
+                kind="packet-delivered",
+                packet_id=packet.packet_id,
+                kind_of_packet=packet.kind,
+                latency=packet.latency,
+                hops=len(route) - 1,
+            )
+        return current_time
+
+    # -- statistics ------------------------------------------------------------
+
+    def latencies(self, kind: Optional[str] = None) -> List[int]:
+        """End-to-end latencies of delivered packets (optionally filtered by kind)."""
+        return [
+            packet.latency
+            for packet in self.delivered
+            if packet.latency is not None and (kind is None or packet.kind == kind)
+        ]
+
+    def mean_latency(self, kind: Optional[str] = None) -> float:
+        values = self.latencies(kind)
+        return sum(values) / len(values) if values else 0.0
+
+    def max_latency(self, kind: Optional[str] = None) -> int:
+        values = self.latencies(kind)
+        return max(values) if values else 0
+
+    def total_blocking(self) -> int:
+        """Total arbitration blocking accumulated across all routers."""
+        return sum(router.total_blocking for router in self.routers.values())

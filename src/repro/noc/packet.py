@@ -1,0 +1,41 @@
+"""Packets exchanged over the NoC."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.noc.topology import NodeId
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A NoC packet (modelled at packet granularity, sized in flits).
+
+    The payload carries I/O-related messages: pre-load commands, schedule
+    entries, run-time I/O requests and I/O responses.
+    """
+
+    source: NodeId
+    destination: NodeId
+    size_flits: int = 4
+    kind: str = "data"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    injected_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_flits <= 0:
+            raise ValueError("packet size must be at least one flit")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency, available once the packet has been delivered."""
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at

@@ -1,0 +1,28 @@
+"""Dimension-ordered (XY) routing."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.noc.topology import MeshTopology, NodeId
+
+
+def xy_route(source: NodeId, destination: NodeId, topology: MeshTopology) -> List[NodeId]:
+    """The XY route from ``source`` to ``destination``, inclusive of both ends.
+
+    Packets first travel along the X dimension, then along Y — the standard
+    deadlock-free dimension-ordered routing for 2-D meshes.
+    """
+    for node in (source, destination):
+        if not topology.contains(node):
+            raise ValueError(f"node {node} is outside the mesh")
+    route: List[NodeId] = [source]
+    x, y = source
+    dst_x, dst_y = destination
+    while x != dst_x:
+        x += 1 if dst_x > x else -1
+        route.append((x, y))
+    while y != dst_y:
+        y += 1 if dst_y > y else -1
+        route.append((x, y))
+    return route

@@ -1,0 +1,61 @@
+"""2-D mesh topology for the NoC model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: A node is addressed by its (x, y) mesh coordinates.
+NodeId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width x height`` 2-D mesh of routers.
+
+    Each router has a *home port* to which a CPU tile, the I/O controller or a
+    memory controller can be attached, and links to its north/south/east/west
+    neighbours.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    def nodes(self) -> Iterator[NodeId]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def contains(self, node: NodeId) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbours(self, node: NodeId) -> List[NodeId]:
+        """Neighbouring routers of ``node`` (2-4 depending on position)."""
+        if not self.contains(node):
+            raise ValueError(f"node {node} is outside the {self.width}x{self.height} mesh")
+        x, y = node
+        candidates = [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+        return [candidate for candidate in candidates if self.contains(candidate)]
+
+    def manhattan_distance(self, source: NodeId, destination: NodeId) -> int:
+        """Hop count of a minimal (e.g. XY) route between two nodes."""
+        for node in (source, destination):
+            if not self.contains(node):
+                raise ValueError(f"node {node} is outside the mesh")
+        return abs(source[0] - destination[0]) + abs(source[1] - destination[1])
+
+    def node_index(self, node: NodeId) -> int:
+        """Linear index of a node (row-major), useful for tables and matrices."""
+        if not self.contains(node):
+            raise ValueError(f"node {node} is outside the mesh")
+        x, y = node
+        return y * self.width + x

@@ -1,0 +1,50 @@
+"""Offline scheduling methods for timed I/O jobs (Section III of the paper).
+
+Schedulers provided:
+
+* :class:`FPSOfflineScheduler` — offline non-preemptive fixed-priority
+  scheduling (the paper's "FPS-offline" baseline).
+* :class:`GPIOCPScheduler` — the FIFO execution model of GPIOCP
+  (Jiang & Audsley, DATE 2017), the paper's state-of-the-art baseline.
+* :class:`HeuristicScheduler` — the paper's Algorithm 1 ("static"):
+  dependency-graph decomposition plus LCC-D allocation, maximising Psi.
+* :class:`GAScheduler` — the paper's multi-objective genetic-algorithm search,
+  maximising both Psi and Upsilon.
+"""
+
+from repro.scheduling.base import (
+    Scheduler,
+    ScheduleResult,
+    SystemScheduleResult,
+    schedule_system,
+)
+from repro.scheduling.dependency_graph import (
+    DependencyGraphs,
+    build_dependency_graphs,
+    decompose_graphs,
+)
+from repro.scheduling.fps import FPSOfflineScheduler
+from repro.scheduling.gpiocp import GPIOCPScheduler
+from repro.scheduling.heuristic import HeuristicScheduler
+from repro.scheduling.lccd import LCCDAllocator
+from repro.scheduling.slots import FreeSlot, free_slots, slots_within_window
+from repro.scheduling.ga import GAScheduler, GAConfig
+
+__all__ = [
+    "Scheduler",
+    "ScheduleResult",
+    "SystemScheduleResult",
+    "schedule_system",
+    "FPSOfflineScheduler",
+    "GPIOCPScheduler",
+    "HeuristicScheduler",
+    "GAScheduler",
+    "GAConfig",
+    "LCCDAllocator",
+    "FreeSlot",
+    "free_slots",
+    "slots_within_window",
+    "DependencyGraphs",
+    "build_dependency_graphs",
+    "decompose_graphs",
+]

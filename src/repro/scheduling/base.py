@@ -1,0 +1,134 @@
+"""Scheduler interface and result types shared by all scheduling methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.metrics import ScheduleMetrics, aggregate_psi, aggregate_upsilon, schedule_metrics
+from repro.core.schedule import Schedule, SystemSchedule
+from repro.core.task import IOJob, TaskSet
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling the jobs of a single per-device partition."""
+
+    schedulable: bool
+    schedule: Optional[Schedule]
+    metrics: ScheduleMetrics
+    #: Scheduler-specific diagnostics (e.g. number of sacrificed jobs, GA
+    #: generations executed, Pareto-front size).
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def infeasible(cls, n_jobs: int = 0, **info: Any) -> "ScheduleResult":
+        return cls(
+            schedulable=False,
+            schedule=None,
+            metrics=ScheduleMetrics.infeasible(n_jobs=n_jobs),
+            info=dict(info),
+        )
+
+    @classmethod
+    def from_schedule(
+        cls, schedule: Schedule, jobs: Sequence[IOJob], **info: Any
+    ) -> "ScheduleResult":
+        """Build a result from a complete schedule, validating it against ``jobs``.
+
+        The quality metrics (Psi, Upsilon) are computed from the schedule even
+        when it violates a deadline — the ``schedulable`` flag records the
+        violation — so that the timing accuracy of non-guaranteeing baselines
+        (FIFO/GPIOCP) remains measurable, as in Figures 6-7 of the paper.
+        """
+        metrics = schedule_metrics(schedule, jobs, strict=False)
+        return cls(
+            schedulable=metrics.schedulable,
+            schedule=schedule,
+            metrics=metrics,
+            info=dict(info),
+        )
+
+    @property
+    def psi(self) -> float:
+        return self.metrics.psi
+
+    @property
+    def upsilon(self) -> float:
+        return self.metrics.upsilon
+
+
+@dataclass
+class SystemScheduleResult:
+    """Outcome of scheduling a full (possibly multi-device) system."""
+
+    schedulable: bool
+    per_device: Dict[str, ScheduleResult]
+
+    @property
+    def schedules(self) -> SystemSchedule:
+        system = SystemSchedule()
+        for device, result in self.per_device.items():
+            if result.schedule is not None:
+                system[device] = result.schedule
+        return system
+
+    @property
+    def psi(self) -> float:
+        """System-wide Psi (job-weighted across devices) of the produced schedules.
+
+        Computed even when a deadline is violated (see the ``schedulable`` flag),
+        so that baselines without timing guarantees remain measurable.
+        """
+        return aggregate_psi(
+            result.schedule for result in self.per_device.values() if result.schedule
+        )
+
+    @property
+    def upsilon(self) -> float:
+        """System-wide Upsilon of the produced schedules (see :attr:`psi`)."""
+        return aggregate_upsilon(
+            result.schedule for result in self.per_device.values() if result.schedule
+        )
+
+
+class Scheduler(ABC):
+    """Base class for offline, per-partition I/O job schedulers."""
+
+    #: Short identifier used by the experiment harness and result tables.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule_jobs(self, jobs: Sequence[IOJob], horizon: int) -> ScheduleResult:
+        """Schedule the jobs of one per-device partition over ``[0, horizon)``.
+
+        All jobs must target the same I/O device.  Implementations must return
+        a complete, constraint-respecting schedule or an infeasible result —
+        they must not raise for unschedulable inputs.
+        """
+
+    def schedule_taskset(self, task_set: TaskSet, horizon: Optional[int] = None) -> SystemScheduleResult:
+        """Partition a task set by device and schedule every partition.
+
+        The system is schedulable iff every partition is.
+        """
+        if len(task_set) == 0:
+            return SystemScheduleResult(schedulable=True, per_device={})
+        if horizon is None:
+            horizon = task_set.hyperperiod()
+        per_device: Dict[str, ScheduleResult] = {}
+        all_ok = True
+        for device, partition in task_set.partition().items():
+            jobs = partition.jobs(horizon)
+            result = self.schedule_jobs(jobs, horizon)
+            per_device[device] = result
+            all_ok = all_ok and result.schedulable
+        return SystemScheduleResult(schedulable=all_ok, per_device=per_device)
+
+
+def schedule_system(
+    scheduler: Scheduler, task_set: TaskSet, horizon: Optional[int] = None
+) -> SystemScheduleResult:
+    """Convenience function mirroring :meth:`Scheduler.schedule_taskset`."""
+    return scheduler.schedule_taskset(task_set, horizon)

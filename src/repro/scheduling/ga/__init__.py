@@ -1,0 +1,36 @@
+"""Multi-objective GA-based I/O scheduling (Section III-B of the paper).
+
+The search optimises the job start times ``kappa_i^j`` of one per-device
+partition for two objectives simultaneously — ``Psi`` (fraction of exactly
+timing-accurate jobs) and ``Upsilon`` (normalised total quality) — subject to
+Constraint 1 (release/deadline windows) and Constraint 2/2* (non-overlapping
+executions), using an NSGA-II style evolutionary algorithm with a
+reconfiguration (repair) function.
+"""
+
+from repro.scheduling.ga.constraints import (
+    first_interfering_job_index,
+    interfering_jobs,
+    last_interfering_job_index,
+    satisfies_constraint1,
+    satisfies_constraint2,
+)
+from repro.scheduling.ga.encoding import GAProblem
+from repro.scheduling.ga.nsga2 import NSGA2, crowding_distance, fast_non_dominated_sort
+from repro.scheduling.ga.reconfiguration import reconfigure
+from repro.scheduling.ga.scheduler import GAConfig, GAScheduler
+
+__all__ = [
+    "GAProblem",
+    "GAConfig",
+    "GAScheduler",
+    "NSGA2",
+    "reconfigure",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "satisfies_constraint1",
+    "satisfies_constraint2",
+    "interfering_jobs",
+    "first_interfering_job_index",
+    "last_interfering_job_index",
+]

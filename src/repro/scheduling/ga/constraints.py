@@ -1,0 +1,82 @@
+"""The GA formulation's constraints (Section III-B).
+
+* **Constraint 1** — every job executes inside its release window:
+  ``T_i*j <= kappa_i^j <= T_i*j + D_i - C_i``.
+* **Constraint 2** — the executions of two jobs never overlap:
+  ``kappa_i^j + C_i <= kappa_x^q`` or ``kappa_i^j >= kappa_x^q + C_x``.
+* **Constraint 2*** — the refinement of Constraint 2 to the bounded set of
+  jobs of other tasks that can actually be released during the window of
+  ``lambda_i^j`` (Equations (4) and (5) bound the first and last interfering
+  job index of each other task).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.task import IOJob, IOTask
+
+
+def satisfies_constraint1(job: IOJob, start: int) -> bool:
+    """Constraint 1: the job starts in its release window and meets its deadline."""
+    return job.release <= start <= job.deadline - job.wcet
+
+
+def satisfies_constraint2(job_a: IOJob, start_a: int, job_b: IOJob, start_b: int) -> bool:
+    """Constraint 2: the two executions do not overlap."""
+    return start_a + job_a.wcet <= start_b or start_a >= start_b + job_b.wcet
+
+
+def first_interfering_job_index(job: IOJob, other: IOTask) -> int:
+    """Equation (4): index of the first job of ``other`` that can interfere.
+
+    ``alpha = max(floor(T_i * j / T_x) - 1, 0)``.
+    """
+    return max(job.release // other.period - 1, 0)
+
+
+def last_interfering_job_index(job: IOJob, other: IOTask) -> int:
+    """Equation (5): index of the last job of ``other`` that can interfere.
+
+    ``beta = ceil((T_i * j + D_i) / T_x)``.
+    """
+    return -(-job.deadline // other.period)
+
+
+def interfering_jobs(job: IOJob, others: Iterable[IOTask], horizon: int) -> List[IOJob]:
+    """Constraint 2*: the jobs of other tasks that may overlap ``job``'s window.
+
+    Only jobs released before ``horizon`` are returned (the offline schedule
+    covers exactly one hyper-period).
+    """
+    interfering: List[IOJob] = []
+    for other in others:
+        if other.name == job.task.name:
+            continue
+        alpha = first_interfering_job_index(job, other)
+        beta = last_interfering_job_index(job, other)
+        for index in range(alpha, beta + 1):
+            release = other.offset + other.period * index
+            if release >= horizon:
+                break
+            interfering.append(other.job(index))
+    return interfering
+
+
+def count_conflicts(jobs: Sequence[IOJob], starts: Sequence[int]) -> int:
+    """Number of overlapping job pairs in a candidate assignment (diagnostic)."""
+    order = sorted(range(len(jobs)), key=lambda i: starts[i])
+    conflicts = 0
+    for a, b in zip(order, order[1:]):
+        if starts[a] + jobs[a].wcet > starts[b]:
+            conflicts += 1
+    return conflicts
+
+
+def violations(jobs: Sequence[IOJob], starts: Sequence[int]) -> Dict[str, int]:
+    """Summary of constraint violations of a candidate assignment (diagnostic)."""
+    c1 = sum(
+        0 if satisfies_constraint1(job, start) else 1
+        for job, start in zip(jobs, starts)
+    )
+    return {"constraint1": c1, "constraint2": count_conflicts(jobs, starts)}

@@ -1,0 +1,87 @@
+"""Chromosome encoding of the GA scheduling problem.
+
+One individual encodes the start time ``kappa_i^j`` of every job of the
+partition as a vector of integers, in a fixed job order.  Genes are
+initialised and mutated inside the timing boundary
+``[ideal - theta, ideal + theta]`` (clamped to the release window), as the
+paper specifies; the reconfiguration function may push the realised start
+times outside the boundary to resolve conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import IOJob
+
+
+@dataclass
+class GAProblem:
+    """The per-partition scheduling problem the GA optimises."""
+
+    jobs: List[IOJob]
+    horizon: int
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda j: (j.release, j.key))
+        devices = {job.device for job in self.jobs}
+        if len(devices) > 1:
+            raise ValueError(
+                f"a GAProblem covers a single device partition, got {sorted(devices)}"
+            )
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.jobs)
+
+    def gene_bounds(self, index: int) -> Tuple[int, int]:
+        """Initialisation/mutation bounds: the timing boundary, clamped to the window."""
+        job = self.jobs[index]
+        lo, hi = job.window
+        if hi < lo:
+            # Degenerate boundary (theta smaller than needed); fall back to the
+            # full release window so the gene stays well-defined.
+            return self.full_bounds(index)
+        return lo, hi
+
+    def full_bounds(self, index: int) -> Tuple[int, int]:
+        """Constraint-1 bounds: the full release window ``[release, deadline - C]``."""
+        job = self.jobs[index]
+        return job.release, job.deadline - job.wcet
+
+    def ideal_genes(self) -> np.ndarray:
+        """Gene vector with every job at its ideal start time."""
+        return np.array([job.ideal_start for job in self.jobs], dtype=np.int64)
+
+    def genes_from_starts(self, starts: Sequence[int]) -> np.ndarray:
+        """Gene vector from an explicit list of start times (job order preserved)."""
+        if len(starts) != self.n_genes:
+            raise ValueError(
+                f"expected {self.n_genes} start times, got {len(starts)}"
+            )
+        return np.array([int(s) for s in starts], dtype=np.int64)
+
+    def genes_from_schedule_mapping(self, starts_by_key) -> np.ndarray:
+        """Gene vector from a ``{job key: start}`` mapping (e.g. another scheduler's output)."""
+        return np.array(
+            [int(starts_by_key[job.key]) for job in self.jobs], dtype=np.int64
+        )
+
+    def random_genes(self, rng: np.random.Generator) -> np.ndarray:
+        """Random gene vector drawn uniformly inside the timing boundaries."""
+        genes = np.empty(self.n_genes, dtype=np.int64)
+        for index in range(self.n_genes):
+            lo, hi = self.gene_bounds(index)
+            genes[index] = rng.integers(lo, hi + 1)
+        return genes
+
+    def clamp(self, genes: np.ndarray) -> np.ndarray:
+        """Clamp a gene vector into the Constraint-1 windows (in place safe copy)."""
+        clamped = genes.astype(np.int64, copy=True)
+        for index in range(self.n_genes):
+            lo, hi = self.full_bounds(index)
+            clamped[index] = min(max(int(clamped[index]), lo), hi)
+        return clamped

@@ -1,0 +1,270 @@
+"""A compact NSGA-II implementation for the two-objective I/O scheduling search.
+
+The paper formulates the search as a two-objective maximisation of
+``(Psi, Upsilon)`` over the job start times.  This module provides the generic
+evolutionary machinery: fast non-dominated sorting, crowding distance,
+binary-tournament selection on (rank, crowding), elitist environmental
+selection, and an external archive of all feasible non-dominated individuals
+encountered during the run (the paper returns "all the non-dominated solutions
+being found during the search").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scheduling.ga.encoding import GAProblem
+from repro.scheduling.ga.operators import initial_population, mutate, uniform_crossover
+
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """Pareto dominance for maximisation: ``a`` is no worse everywhere and better somewhere."""
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def fast_non_dominated_sort(objectives: Sequence[Objectives]) -> List[List[int]]:
+    """Deb's fast non-dominated sort; returns fronts as lists of indices (front 0 first)."""
+    n = len(objectives)
+    domination_count = [0] * n
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    fronts: List[List[int]] = [[]]
+
+    for p in range(n):
+        for q in range(n):
+            if p == q:
+                continue
+            if dominates(objectives[p], objectives[q]):
+                dominated_by[p].append(q)
+            elif dominates(objectives[q], objectives[p]):
+                domination_count[p] += 1
+        if domination_count[p] == 0:
+            fronts[0].append(p)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for p in fronts[current]:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    next_front.append(q)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the last front is always empty
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[Objectives], front: Sequence[int]) -> Dict[int, float]:
+    """Crowding distance of the individuals in one front."""
+    distances: Dict[int, float] = {index: 0.0 for index in front}
+    if not front:
+        return distances
+    n_objectives = len(objectives[front[0]])
+    for m in range(n_objectives):
+        ordered = sorted(front, key=lambda index: objectives[index][m])
+        lo = objectives[ordered[0]][m]
+        hi = objectives[ordered[-1]][m]
+        distances[ordered[0]] = float("inf")
+        distances[ordered[-1]] = float("inf")
+        if hi == lo:
+            continue
+        for position in range(1, len(ordered) - 1):
+            previous = objectives[ordered[position - 1]][m]
+            following = objectives[ordered[position + 1]][m]
+            distances[ordered[position]] += (following - previous) / (hi - lo)
+    return distances
+
+
+@dataclass
+class ArchiveEntry:
+    """A feasible non-dominated individual retained in the external archive."""
+
+    genes: np.ndarray
+    objectives: Objectives
+    payload: object = None
+
+
+class ParetoArchive:
+    """External archive of feasible non-dominated solutions found so far."""
+
+    def __init__(self) -> None:
+        self._entries: List[ArchiveEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> List[ArchiveEntry]:
+        return list(self._entries)
+
+    def add(self, genes: np.ndarray, objectives: Objectives, payload: object = None) -> bool:
+        """Insert a candidate; returns True if it enters the archive."""
+        for existing in self._entries:
+            if dominates(existing.objectives, objectives) or existing.objectives == objectives:
+                return False
+        self._entries = [
+            entry for entry in self._entries if not dominates(objectives, entry.objectives)
+        ]
+        self._entries.append(ArchiveEntry(genes=genes.copy(), objectives=objectives, payload=payload))
+        return True
+
+    def best_by(self, objective_index: int) -> Optional[ArchiveEntry]:
+        """Archive entry with the best value of one objective (ties: best other objectives)."""
+        if not self._entries:
+            return None
+        return max(
+            self._entries,
+            key=lambda entry: (
+                entry.objectives[objective_index],
+                sum(entry.objectives),
+            ),
+        )
+
+
+@dataclass
+class NSGA2Result:
+    """Outcome of one NSGA-II run."""
+
+    archive: ParetoArchive
+    generations_run: int
+    evaluations: int
+
+
+class NSGA2:
+    """Elitist non-dominated-sorting GA over a :class:`GAProblem`."""
+
+    def __init__(
+        self,
+        problem: GAProblem,
+        evaluate: Callable[[np.ndarray], Tuple[Objectives, object]],
+        *,
+        population_size: int = 100,
+        generations: int = 100,
+        crossover_probability: float = 0.9,
+        gene_mutation_probability: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        seeds: Optional[Sequence[np.ndarray]] = None,
+    ):
+        if population_size < 4:
+            raise ValueError("population size must be at least 4")
+        self.problem = problem
+        self.evaluate = evaluate
+        self.population_size = population_size
+        self.generations = generations
+        self.crossover_probability = crossover_probability
+        if gene_mutation_probability is None:
+            gene_mutation_probability = 1.0 / max(1, problem.n_genes)
+        self.gene_mutation_probability = gene_mutation_probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.seeds = list(seeds or [])
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> NSGA2Result:
+        archive = ParetoArchive()
+        evaluations = 0
+
+        population = initial_population(
+            self.problem, self.population_size, self.rng, seeds=self.seeds
+        )
+        objectives, payloads = self._evaluate_all(population, archive)
+        evaluations += len(population)
+
+        generations_run = 0
+        for _ in range(self.generations):
+            generations_run += 1
+            offspring = self._make_offspring(population, objectives)
+            offspring_objectives, offspring_payloads = self._evaluate_all(offspring, archive)
+            evaluations += len(offspring)
+
+            population, objectives = self._environmental_selection(
+                population + offspring, objectives + offspring_objectives
+            )
+
+        return NSGA2Result(
+            archive=archive, generations_run=generations_run, evaluations=evaluations
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _evaluate_all(
+        self, population: Sequence[np.ndarray], archive: ParetoArchive
+    ) -> Tuple[List[Objectives], List[object]]:
+        objectives: List[Objectives] = []
+        payloads: List[object] = []
+        for genes in population:
+            objs, payload = self.evaluate(genes)
+            objectives.append(objs)
+            payloads.append(payload)
+            if payload is not None and all(value >= 0 for value in objs):
+                archive.add(genes, objs, payload)
+        return objectives, payloads
+
+    def _make_offspring(
+        self, population: Sequence[np.ndarray], objectives: Sequence[Objectives]
+    ) -> List[np.ndarray]:
+        fronts = fast_non_dominated_sort(objectives)
+        rank: Dict[int, int] = {}
+        crowding: Dict[int, float] = {}
+        for front_index, front in enumerate(fronts):
+            distances = crowding_distance(objectives, front)
+            for index in front:
+                rank[index] = front_index
+                crowding[index] = distances[index]
+
+        def tournament() -> int:
+            a = int(self.rng.integers(0, len(population)))
+            b = int(self.rng.integers(0, len(population)))
+            if rank[a] != rank[b]:
+                return a if rank[a] < rank[b] else b
+            return a if crowding[a] >= crowding[b] else b
+
+        offspring: List[np.ndarray] = []
+        while len(offspring) < self.population_size:
+            parent_a = population[tournament()]
+            parent_b = population[tournament()]
+            if self.rng.random() < self.crossover_probability:
+                child_a, child_b = uniform_crossover(parent_a, parent_b, self.rng)
+            else:
+                child_a, child_b = parent_a.copy(), parent_b.copy()
+            child_a = mutate(
+                self.problem, child_a, self.rng,
+                gene_mutation_probability=self.gene_mutation_probability,
+            )
+            child_b = mutate(
+                self.problem, child_b, self.rng,
+                gene_mutation_probability=self.gene_mutation_probability,
+            )
+            offspring.append(child_a)
+            if len(offspring) < self.population_size:
+                offspring.append(child_b)
+        return offspring
+
+    def _environmental_selection(
+        self,
+        combined: Sequence[np.ndarray],
+        combined_objectives: Sequence[Objectives],
+    ) -> Tuple[List[np.ndarray], List[Objectives]]:
+        fronts = fast_non_dominated_sort(combined_objectives)
+        selected: List[int] = []
+        for front in fronts:
+            if len(selected) + len(front) <= self.population_size:
+                selected.extend(front)
+                continue
+            distances = crowding_distance(combined_objectives, front)
+            remaining = sorted(front, key=lambda index: -distances[index])
+            selected.extend(remaining[: self.population_size - len(selected)])
+            break
+        population = [combined[index] for index in selected]
+        objectives = [combined_objectives[index] for index in selected]
+        return population, objectives

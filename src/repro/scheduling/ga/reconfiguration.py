@@ -1,0 +1,97 @@
+"""Reconfiguration (repair) function of the GA (Section III-B).
+
+Applied to every individual before the objective functions, the
+reconfiguration resolves execution conflicts while preserving the execution
+order implied by the genes, and opportunistically snaps jobs back to their
+ideal start times when doing so causes no conflict:
+
+1. order jobs by their encoded start times (ties: higher priority first, as
+   footnote 2 of the paper specifies);
+2. assign realised start times sequentially, delaying a job just enough to
+   clear the previous job's execution (and never before its release);
+3. for each job, if the device is idle around its ideal start time and the
+   ideal start lies inside its release window, move it there;
+4. if any job now misses its deadline the individual is infeasible and both
+   objectives evaluate to -1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.task import IOJob
+
+
+def reconfigure(
+    jobs: Sequence[IOJob],
+    genes: Sequence[int],
+) -> Optional[Schedule]:
+    """Repair a gene vector into a conflict-free schedule, or ``None`` if infeasible."""
+    if len(jobs) != len(genes):
+        raise ValueError("genes and jobs must have the same length")
+    if not jobs:
+        return Schedule()
+
+    # Execution order implied by the genes; same start time -> higher priority first.
+    order = sorted(
+        range(len(jobs)),
+        key=lambda i: (int(genes[i]), -jobs[i].priority, jobs[i].key),
+    )
+
+    starts: List[Tuple[IOJob, int]] = []
+    device_free_at = 0
+    for index in order:
+        job = jobs[index]
+        desired = int(genes[index])
+        start = max(desired, device_free_at, job.release)
+        starts.append((job, start))
+        device_free_at = start + job.wcet
+
+    # Opportunistic snap-to-ideal: a job may move to its ideal start time if the
+    # move keeps it inside its release window and clear of its neighbours.
+    for position, (job, start) in enumerate(starts):
+        ideal = job.ideal_start
+        if start == ideal:
+            continue
+        if not (job.release <= ideal <= job.deadline - job.wcet):
+            continue
+        previous_finish = 0
+        if position > 0:
+            prev_job, prev_start = starts[position - 1]
+            previous_finish = prev_start + prev_job.wcet
+        next_start = None
+        if position + 1 < len(starts):
+            next_start = starts[position + 1][1]
+        if ideal < previous_finish:
+            continue
+        if next_start is not None and ideal + job.wcet > next_start:
+            continue
+        starts[position] = (job, ideal)
+
+    schedule = Schedule()
+    for job, start in starts:
+        if start + job.wcet > job.deadline:
+            return None
+        schedule.set_start(job, start)
+    return schedule
+
+
+def evaluate(
+    jobs: Sequence[IOJob],
+    genes: Sequence[int],
+) -> Tuple[float, float, Optional[Schedule]]:
+    """Objectives ``(Psi, Upsilon)`` of an individual after reconfiguration.
+
+    Infeasible individuals (a deadline miss survives the repair) score -1 on
+    both objectives, exactly as the paper prescribes.
+    """
+    from repro.core.metrics import psi as _psi
+    from repro.core.metrics import upsilon as _upsilon
+
+    schedule = reconfigure(jobs, genes)
+    if schedule is None:
+        return -1.0, -1.0, None
+    return _psi(schedule), _upsilon(schedule), schedule

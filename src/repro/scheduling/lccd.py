@@ -1,0 +1,210 @@
+"""Least Contention and Capacity Decreasing (LCC-D) allocation (phase 3 of Algorithm 1).
+
+After graph decomposition, the surviving jobs (``lambda*``) are placed at their
+ideal start times and the sacrificed jobs (``lambda¬``) must be packed into the
+remaining free slots so that every job still meets its deadline.  The paper's
+LCC-D rule handles each sacrificed job, highest priority first, in two cases:
+
+1. *Direct fit* — one or more free slots inside the job's release window can
+   hold the whole job.  The job goes to the slot usable by the **fewest** other
+   pending jobs (least contention); ties are broken towards the slot with the
+   **least capacity** (capacity decreasing, in the spirit of Best-Fit).
+2. *Fit by shifting* — no single slot fits, but the total free capacity inside
+   the window suffices.  The allocator picks the consecutive group of slots
+   whose in-between jobs contain the fewest exactly-accurate jobs, shifts those
+   in-between jobs (left or right, within their own release windows) to merge
+   the capacity, and places the job in the merged gap.
+
+If neither case applies the allocation — and hence the heuristic schedule —
+is declared infeasible (the paper explicitly stops here rather than searching
+for re-allocations of already-placed jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.task import IOJob
+from repro.scheduling.slots import FreeSlot, free_slots, slots_within_window, total_capacity
+
+
+@dataclass
+class AllocationReport:
+    """Diagnostics of an LCC-D allocation run."""
+
+    allocated_direct: int = 0
+    allocated_by_shift: int = 0
+    failed_job: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.failed_job is None
+
+
+class LCCDAllocator:
+    """Packs sacrificed jobs into the free slots left by the exact jobs."""
+
+    def __init__(self, prefer_ideal_placement: bool = False):
+        #: If true, a directly-fitting job is placed as close to its ideal
+        #: start as the slot allows (improves Upsilon); the paper's static
+        #: method is purely schedulability-driven, so the default is False.
+        self.prefer_ideal_placement = prefer_ideal_placement
+
+    # -- public API ---------------------------------------------------------
+
+    def allocate(
+        self,
+        kept: Sequence[IOJob],
+        sacrificed: Sequence[IOJob],
+        horizon: int,
+    ) -> Tuple[Optional[Schedule], AllocationReport]:
+        """Build a complete schedule, or return ``(None, report)`` if infeasible."""
+        schedule = Schedule()
+        for job in kept:
+            schedule.set_start(job, job.ideal_start)
+
+        report = AllocationReport()
+        # Highest priority first (the paper's "largest P_i first").
+        pending = sorted(sacrificed, key=lambda j: (-j.priority, j.ideal_start, j.key))
+        for index, job in enumerate(pending):
+            remaining = pending[index + 1:]
+            if self._allocate_direct(schedule, job, remaining, horizon):
+                report.allocated_direct += 1
+                continue
+            if self._allocate_by_shifting(schedule, job, horizon):
+                report.allocated_by_shift += 1
+                continue
+            report.failed_job = job.name
+            return None, report
+        return schedule, report
+
+    # -- case 1: direct fit ---------------------------------------------------
+
+    def _allocate_direct(
+        self,
+        schedule: Schedule,
+        job: IOJob,
+        remaining: Sequence[IOJob],
+        horizon: int,
+    ) -> bool:
+        slots = free_slots(schedule, horizon)
+        fitting = [slot for slot in slots if slot.can_fit(job)]
+        if not fitting:
+            return False
+        chosen = min(
+            fitting,
+            key=lambda slot: (self._contention(slot, remaining), slot.capacity, slot.start),
+        )
+        start = chosen.fit_start(job, prefer_ideal=self.prefer_ideal_placement)
+        assert start is not None  # guaranteed by can_fit
+        schedule.set_start(job, start)
+        return True
+
+    @staticmethod
+    def _contention(slot: FreeSlot, remaining: Sequence[IOJob]) -> int:
+        """Number of still-pending jobs that could also use this slot."""
+        return sum(1 for other in remaining if slot.can_fit(other))
+
+    # -- case 2: fit by shifting ----------------------------------------------
+
+    def _allocate_by_shifting(self, schedule: Schedule, job: IOJob, horizon: int) -> bool:
+        slots = free_slots(schedule, horizon)
+        window_slots = slots_within_window(slots, job.release, job.deadline)
+        if total_capacity(window_slots) < job.wcet:
+            return False
+
+        runs = self._candidate_runs(schedule, slots, job)
+        for _, _, run_slots, between in runs:
+            if self._try_pack(schedule, job, run_slots, between, pack_left=True):
+                return True
+            if self._try_pack(schedule, job, run_slots, between, pack_left=False):
+                return True
+        return False
+
+    def _candidate_runs(
+        self,
+        schedule: Schedule,
+        slots: Sequence[FreeSlot],
+        job: IOJob,
+    ) -> List[Tuple[int, int, List[FreeSlot], List[ScheduleEntry]]]:
+        """Consecutive slot groups whose merged capacity could hold the job.
+
+        Each run is annotated with (#exactly-accurate in-between jobs,
+        #in-between jobs) and the runs are returned best-first.
+        """
+        entries = schedule.sorted_entries()
+        runs: List[Tuple[int, int, List[FreeSlot], List[ScheduleEntry]]] = []
+        n = len(slots)
+        for i in range(n):
+            usable = 0
+            for j in range(i, n):
+                clipped = slots[j].overlap(job.release, job.deadline)
+                usable += clipped.capacity if clipped is not None else 0
+                if j == i or usable < job.wcet:
+                    # single slots are case 1's responsibility; skip until the
+                    # merged capacity is sufficient
+                    if usable < job.wcet:
+                        continue
+                run_slots = list(slots[i:j + 1])
+                lo, hi = run_slots[0].start, run_slots[-1].end
+                between = [e for e in entries if e.start >= lo and e.finish <= hi]
+                exact_between = sum(1 for e in between if e.is_exact)
+                runs.append((exact_between, len(between), run_slots, between))
+                break  # extending the run further only adds more disturbance
+        runs.sort(key=lambda r: (r[0], r[1], r[2][0].start))
+        return runs
+
+    def _try_pack(
+        self,
+        schedule: Schedule,
+        job: IOJob,
+        run_slots: Sequence[FreeSlot],
+        between: Sequence[ScheduleEntry],
+        *,
+        pack_left: bool,
+    ) -> bool:
+        """Shift the in-between jobs towards one end of the run and insert ``job``.
+
+        Packing left pushes the in-between jobs as early as their releases
+        allow, opening a gap at the end of the run; packing right pushes them
+        as late as their deadlines allow, opening a gap at the start.  The
+        shifts are applied only if the resulting gap can hold the new job
+        inside its own release window.
+        """
+        region_start = run_slots[0].start
+        region_end = run_slots[-1].end
+        ordered = sorted(between, key=lambda e: e.start)
+
+        new_starts: List[Tuple[IOJob, int]] = []
+        if pack_left:
+            cursor = region_start
+            for entry in ordered:
+                start = max(entry.job.release, cursor)
+                if start + entry.job.wcet > entry.job.deadline:
+                    return False
+                new_starts.append((entry.job, start))
+                cursor = start + entry.job.wcet
+            gap_start, gap_end = cursor, region_end
+        else:
+            cursor = region_end
+            for entry in reversed(ordered):
+                finish = min(entry.job.deadline, cursor)
+                start = finish - entry.job.wcet
+                if start < entry.job.release:
+                    return False
+                new_starts.append((entry.job, start))
+                cursor = start
+            gap_start, gap_end = region_start, cursor
+
+        usable = FreeSlot(gap_start, gap_end).overlap(job.release, job.deadline)
+        if usable is None or usable.capacity < job.wcet:
+            return False
+
+        for shifted_job, start in new_starts:
+            schedule.set_start(shifted_job, start)
+        placement = usable.fit_start(job, prefer_ideal=self.prefer_ideal_placement)
+        assert placement is not None
+        schedule.set_start(job, placement)
+        return True

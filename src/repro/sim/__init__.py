@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+A small, deterministic event-driven simulation kernel used by the NoC model
+(``repro.noc``) and the I/O-controller hardware model (``repro.hardware``) to
+execute offline schedules at "run time" and observe the actual I/O operation
+start times.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "TraceRecorder",
+    "TraceEvent",
+]

@@ -1,0 +1,62 @@
+"""Simulation clock / global timer model.
+
+The paper's I/O controller relies on a global timer, physically connected to
+all controller processors, to trigger timed executions (Section IV).  The
+:class:`SimClock` models such a timer: it exposes the current simulation time
+at a configurable resolution and can model a bounded synchronisation offset
+between the global timer and an observer (e.g. an application CPU reading it
+over the NoC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimClock:
+    """A discrete clock with a resolution and an optional fixed offset.
+
+    Parameters
+    ----------
+    resolution:
+        Granularity of readings in microseconds (default 1 — the global timer
+        of the dedicated controller is cycle-accurate at the model's time base).
+    offset:
+        Constant synchronisation offset added to every reading; models an
+        observer whose notion of time lags the global timer (e.g. a remote CPU).
+    """
+
+    resolution: int = 1
+    offset: int = 0
+    _now: int = 0
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError("clock resolution must be positive")
+
+    @property
+    def now(self) -> int:
+        """Current (quantised) reading of the clock."""
+        quantised = (self._now // self.resolution) * self.resolution
+        return quantised + self.offset
+
+    @property
+    def raw_time(self) -> int:
+        """Underlying simulation time, unquantised and without offset."""
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        """Move the clock forward to an absolute time (never backwards)."""
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards (now={self._now}, requested={time})"
+            )
+        self._now = int(time)
+
+    def next_tick_at_or_after(self, time: int) -> int:
+        """First time instant >= ``time`` that falls on the clock's resolution grid."""
+        remainder = time % self.resolution
+        if remainder == 0:
+            return time
+        return time + (self.resolution - remainder)

@@ -1,0 +1,107 @@
+"""The discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Components schedule callbacks at absolute times (``at``) or relative
+    delays (``after``); :meth:`run` processes events in time order until the
+    queue is empty or a time horizon is reached.  A shared :class:`SimClock`
+    and :class:`TraceRecorder` are provided for components to read the current
+    time and log observations.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, trace: Optional[TraceRecorder] = None):
+        self.queue = EventQueue()
+        self.clock = clock if clock is not None else SimClock()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._running = False
+        self._processed = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (microseconds)."""
+        return self.clock.raw_time
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    # -- scheduling -----------------------------------------------------------
+
+    def at(self, time: int, action: Callable[[], None], *, priority: int = 0, label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past (now={self.now}, requested={time})"
+            )
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def after(self, delay: int, action: Callable[[], None], *, priority: int = 0, label: str = "") -> Event:
+        """Schedule ``action`` after a relative ``delay`` from the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.at(self.now + delay, action, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        self.queue.cancel(event)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.action()
+        self._processed += 1
+        return True
+
+    def run(self, until: Optional[int] = None, *, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon; events scheduled strictly after it are left
+            unprocessed (and the clock stops at the horizon).
+        max_events:
+            Optional safety bound on the number of processed events.
+
+        Returns
+        -------
+        int
+            The number of events processed by this call.
+        """
+        processed_before = self._processed
+        self._running = True
+        try:
+            while self._running:
+                if max_events is not None and self._processed - processed_before >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+        return self._processed - processed_before
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress (callable from within an event action)."""
+        self._running = False

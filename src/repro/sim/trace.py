@@ -1,0 +1,54 @@
+"""Execution-trace recording for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation observation."""
+
+    time: int
+    source: str
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records produced during a simulation run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(self, time: int, source: str, kind: str, **data: Any) -> TraceEvent:
+        event = TraceEvent(time=int(time), source=source, kind=kind, data=dict(data))
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def filter(self, *, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Events matching the given source and/or kind."""
+        selected = self._events
+        if source is not None:
+            selected = [e for e in selected if e.source == source]
+        if kind is not None:
+            selected = [e for e in selected if e.kind == kind]
+        return list(selected)
+
+    def first(self, *, source: Optional[str] = None, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        matches = self.filter(source=source, kind=kind)
+        return matches[0] if matches else None
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,22 @@
+"""Synthetic task-set generation (Section V-A of the paper).
+
+Reproduces the paper's evaluation workload: UUniFast utilisation generation,
+periods drawn uniformly from the divisors of a 1440 ms hyper-period, implicit
+deadlines, deadline-monotonic priorities, timing margins ``theta_i = T_i / 4``
+and ideal offsets ``delta_i`` drawn uniformly from ``[theta_i, D_i - theta_i]``,
+with ``V_max = P_i + 1`` and a global ``V_min = 1``.
+"""
+
+from repro.taskgen.generator import SystemGenerator, GeneratorConfig
+from repro.taskgen.periods import PAPER_HYPERPERIOD_MS, candidate_periods, draw_periods
+from repro.taskgen.uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "candidate_periods",
+    "draw_periods",
+    "PAPER_HYPERPERIOD_MS",
+    "SystemGenerator",
+    "GeneratorConfig",
+]

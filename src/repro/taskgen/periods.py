@@ -1,0 +1,91 @@
+"""Period generation constrained to a fixed hyper-period.
+
+The paper draws task periods "randomly in a uniform distribution, from all
+periods that lead to a hyper-period of 1440 ms" (Section V-A).  In other
+words, the candidate periods are divisors of 1440 ms; drawing any subset of
+them yields a hyper-period that divides (and in practice equals) 1440 ms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.task import MS
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: The paper's hyper-period, in milliseconds.
+PAPER_HYPERPERIOD_MS: int = 1440
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def divisors(value: int) -> List[int]:
+    """All positive divisors of ``value`` in increasing order."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= value:
+        if value % d == 0:
+            small.append(d)
+            if d != value // d:
+                large.append(value // d)
+        d += 1
+    return small + large[::-1]
+
+
+def candidate_periods(
+    hyperperiod_ms: int = PAPER_HYPERPERIOD_MS,
+    *,
+    min_period_ms: int = 10,
+    max_period_ms: int | None = None,
+) -> List[int]:
+    """Candidate periods (in microseconds) that divide the given hyper-period.
+
+    ``min_period_ms`` bounds the smallest admissible period (very short periods
+    release thousands of jobs per hyper-period, which the paper's job-level
+    offline schedulers would never face for GPIO workloads); ``max_period_ms``
+    defaults to the hyper-period itself.
+    """
+    if max_period_ms is None:
+        max_period_ms = hyperperiod_ms
+    periods = [
+        d * MS
+        for d in divisors(hyperperiod_ms)
+        if min_period_ms <= d <= max_period_ms
+    ]
+    if not periods:
+        raise ValueError(
+            f"no divisor of {hyperperiod_ms} ms lies in "
+            f"[{min_period_ms}, {max_period_ms}] ms"
+        )
+    return periods
+
+
+def draw_periods(
+    n_tasks: int,
+    rng: RngLike = None,
+    *,
+    hyperperiod_ms: int = PAPER_HYPERPERIOD_MS,
+    min_period_ms: int = 10,
+    max_period_ms: int | None = None,
+) -> List[int]:
+    """Draw ``n_tasks`` periods (microseconds) uniformly from the candidate set."""
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    generator = _as_rng(rng)
+    candidates = candidate_periods(
+        hyperperiod_ms,
+        min_period_ms=min_period_ms,
+        max_period_ms=max_period_ms,
+    )
+    indices = generator.integers(0, len(candidates), size=n_tasks)
+    return [candidates[int(i)] for i in indices]

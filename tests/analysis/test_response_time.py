@@ -1,0 +1,78 @@
+"""Unit tests for the non-preemptive response-time analysis."""
+
+import pytest
+
+from repro.analysis import blocking_time, response_time, response_time_analysis
+from repro.core import MS, IOTask, TaskSet
+
+
+def make_task(name, wcet, period, priority, device="d0"):
+    return IOTask(
+        name=name,
+        wcet=wcet,
+        period=period,
+        priority=priority,
+        ideal_offset=0,
+        theta=period // 4,
+        device=device,
+    )
+
+
+class TestBlocking:
+    def test_highest_priority_blocked_by_longest_lower(self):
+        tasks = [
+            make_task("hi", 1 * MS, 10 * MS, priority=3),
+            make_task("mid", 2 * MS, 20 * MS, priority=2),
+            make_task("lo", 5 * MS, 40 * MS, priority=1),
+        ]
+        assert blocking_time(tasks[0], tasks) == 5 * MS - 1
+
+    def test_lowest_priority_has_no_blocking(self):
+        tasks = [
+            make_task("hi", 1 * MS, 10 * MS, priority=2),
+            make_task("lo", 5 * MS, 40 * MS, priority=1),
+        ]
+        assert blocking_time(tasks[1], tasks) == 0
+
+
+class TestResponseTime:
+    def test_single_task_response_is_wcet(self):
+        task = make_task("only", 3 * MS, 30 * MS, priority=1)
+        result = response_time(task, [task])
+        assert result.response_time == 3 * MS
+        assert result.schedulable
+
+    def test_interference_from_higher_priority(self):
+        hi = make_task("hi", 2 * MS, 10 * MS, priority=2)
+        lo = make_task("lo", 3 * MS, 30 * MS, priority=1)
+        result = response_time(lo, [hi, lo])
+        # One release of hi delays lo's start by 2 ms: R = 2 + 3 = 5 ms.
+        assert result.response_time == 5 * MS
+        assert result.schedulable
+
+    def test_unschedulable_when_blocking_exceeds_deadline(self):
+        hi = make_task("hi", 2 * MS, 10 * MS, priority=2)
+        # A lower-priority task whose WCET alone exceeds hi's slack.
+        lo = make_task("lo", 9 * MS, 40 * MS, priority=1)
+        result = response_time(hi, [hi, lo])
+        assert not result.schedulable
+
+    def test_analysis_is_per_device(self):
+        # A huge task on another device must not interfere.
+        a = make_task("a", 2 * MS, 10 * MS, priority=2, device="d0")
+        other = make_task("other", 9 * MS, 20 * MS, priority=1, device="d1")
+        results = response_time_analysis(TaskSet([a, other]))
+        assert results["a"].blocking == 0
+        assert results["a"].schedulable
+
+    def test_all_tasks_reported(self):
+        tasks = TaskSet(
+            [
+                make_task("a", 1 * MS, 10 * MS, priority=3),
+                make_task("b", 2 * MS, 20 * MS, priority=2),
+                make_task("c", 3 * MS, 40 * MS, priority=1),
+            ]
+        )
+        results = response_time_analysis(tasks)
+        assert set(results) == {"a", "b", "c"}
+        assert all(r.converged for r in results.values())

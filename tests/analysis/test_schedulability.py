@@ -1,0 +1,81 @@
+"""Unit tests for the FPS-online schedulability test."""
+
+import pytest
+
+from repro.analysis import FPSOnlineTest, is_schedulable_fps_online, necessary_utilisation_test
+from repro.core import MS, IOTask, TaskSet
+from repro.taskgen import SystemGenerator
+
+
+def make_task(name, wcet, period, priority, device="d0"):
+    return IOTask(
+        name=name, wcet=wcet, period=period, priority=priority, ideal_offset=0,
+        theta=period // 4, device=device,
+    )
+
+
+class TestNecessaryUtilisationTest:
+    def test_accepts_low_utilisation(self):
+        ts = TaskSet([make_task("a", 2 * MS, 10 * MS, 1)])
+        assert necessary_utilisation_test(ts)
+
+    def test_rejects_overloaded_partition(self):
+        ts = TaskSet(
+            [
+                make_task("a", 6 * MS, 10 * MS, 2),
+                make_task("b", 9 * MS, 18 * MS, 1),
+            ]
+        )
+        assert not necessary_utilisation_test(ts)
+
+    def test_per_device_overload_detected(self):
+        ts = TaskSet(
+            [
+                make_task("a", 6 * MS, 10 * MS, 2, device="d0"),
+                make_task("b", 9 * MS, 18 * MS, 1, device="d0"),
+                make_task("c", 1 * MS, 100 * MS, 3, device="d1"),
+            ]
+        )
+        assert not necessary_utilisation_test(ts)
+
+
+class TestFPSOnlineTest:
+    def test_empty_taskset_schedulable(self):
+        assert FPSOnlineTest().is_schedulable(TaskSet([]))
+
+    def test_simple_system_schedulable(self):
+        ts = TaskSet(
+            [
+                make_task("a", 1 * MS, 10 * MS, 3),
+                make_task("b", 2 * MS, 20 * MS, 2),
+                make_task("c", 4 * MS, 40 * MS, 1),
+            ]
+        )
+        analysis = FPSOnlineTest().analyse(ts)
+        assert analysis.schedulable
+        assert analysis.failing_tasks == []
+
+    def test_reports_failing_task(self):
+        ts = TaskSet(
+            [
+                make_task("a", 2 * MS, 10 * MS, 2),
+                make_task("b", 9 * MS, 40 * MS, 1),
+            ]
+        )
+        analysis = FPSOnlineTest().analyse(ts)
+        assert not analysis.schedulable
+        assert "a" in analysis.failing_tasks
+
+    def test_wrapper_function(self):
+        ts = TaskSet([make_task("a", 1 * MS, 10 * MS, 1)])
+        assert is_schedulable_fps_online(ts)
+
+    def test_analysis_never_accepts_what_offline_fps_misses_on_synchronous_release(self):
+        # The analytical worst case is at least as pessimistic as the offline
+        # simulation of the synchronous release pattern.
+        from repro.scheduling import FPSOfflineScheduler
+
+        for seed in range(5):
+            task_set = SystemGenerator(rng=seed).generate(0.6)
+            if FPSOnlineTest().is_schedulable(task_set):
+                assert FPSOfflineScheduler().schedule_taskset(task_set).schedulable

@@ -1,0 +1,44 @@
+"""Unit tests for hyper-period arithmetic."""
+
+import pytest
+
+from repro.core import hyperperiod, jobs_in_hyperperiod, lcm, lcm_many
+
+
+class TestLCM:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+
+    def test_identity(self):
+        assert lcm(5, 5) == 5
+        assert lcm(1, 9) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            lcm(0, 3)
+        with pytest.raises(ValueError):
+            lcm(3, -1)
+
+    def test_lcm_many(self):
+        assert lcm_many([4, 6, 10]) == 60
+        assert lcm_many([1440]) == 1440
+
+    def test_lcm_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_many([])
+
+
+class TestHyperperiod:
+    def test_paper_divisors_give_1440(self):
+        # Divisors of 1440 always yield a hyper-period that divides 1440.
+        assert hyperperiod([48, 60, 480]) == 480
+        assert hyperperiod([96, 90]) == 1440
+        assert 1440 % hyperperiod([48, 72, 160]) == 0
+
+    def test_jobs_in_hyperperiod(self):
+        assert jobs_in_hyperperiod(20, 1440) == 72
+
+    def test_jobs_in_hyperperiod_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            jobs_in_hyperperiod(7, 1440)

@@ -1,0 +1,39 @@
+"""Unit tests for per-device partitioning."""
+
+import pytest
+
+from repro.core import MS, IOTask
+from repro.core.partition import (
+    partition_by_device,
+    partition_jobs_by_device,
+    partition_utilisations,
+)
+
+
+def make_task(name, device, period=20 * MS):
+    return IOTask(
+        name=name, wcet=2 * MS, period=period, ideal_offset=5 * MS, theta=4 * MS, device=device
+    )
+
+
+def test_partition_by_device_groups_tasks():
+    tasks = [make_task("a", "d0"), make_task("b", "d1"), make_task("c", "d0")]
+    partitions = partition_by_device(tasks)
+    assert set(partitions) == {"d0", "d1"}
+    assert sorted(t.name for t in partitions["d0"]) == ["a", "c"]
+    assert [t.name for t in partitions["d1"]] == ["b"]
+
+
+def test_partition_jobs_by_device_sorted_by_ideal_start():
+    tasks = [make_task("a", "d0"), make_task("b", "d0", period=40 * MS)]
+    jobs = [t.job(i) for t in tasks for i in range(2)]
+    partitions = partition_jobs_by_device(jobs)
+    starts = [job.ideal_start for job in partitions["d0"]]
+    assert starts == sorted(starts)
+
+
+def test_partition_utilisations():
+    tasks = [make_task("a", "d0"), make_task("b", "d1"), make_task("c", "d0")]
+    utilisations = partition_utilisations(tasks)
+    assert utilisations["d0"] == pytest.approx(0.2)
+    assert utilisations["d1"] == pytest.approx(0.1)

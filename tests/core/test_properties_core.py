@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearQualityCurve, Schedule, ScheduleEntry, psi, upsilon
+from repro.core.task import IOTask
+
+
+@st.composite
+def tasks(draw, device="dev0"):
+    period = draw(st.integers(min_value=10, max_value=2000)) * 10
+    wcet = draw(st.integers(min_value=1, max_value=max(1, period // 4)))
+    theta = draw(st.integers(min_value=0, max_value=period // 2))
+    delta = draw(st.integers(min_value=0, max_value=period - wcet))
+    v_max = draw(st.floats(min_value=1.0, max_value=50.0, allow_nan=False))
+    name = f"tau{draw(st.integers(min_value=0, max_value=10_000))}"
+    return IOTask(
+        name=name,
+        wcet=wcet,
+        period=period,
+        ideal_offset=delta,
+        theta=theta,
+        device=device,
+        v_max=v_max,
+        v_min=1.0,
+    )
+
+
+class TestQualityCurveProperties:
+    @given(
+        v_max=st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+        theta=st.integers(min_value=0, max_value=10_000),
+        distance=st.integers(min_value=-20_000, max_value=20_000),
+    )
+    def test_quality_bounded_between_vmin_and_vmax(self, v_max, theta, distance):
+        curve = LinearQualityCurve(v_max=v_max, v_min=1.0)
+        value = curve.value(1_000_000 + distance, 1_000_000, theta)
+        assert 1.0 <= value <= v_max + 1e-9
+
+    @given(
+        theta=st.integers(min_value=1, max_value=10_000),
+        d1=st.integers(min_value=0, max_value=10_000),
+        d2=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_quality_monotonically_non_increasing_in_distance(self, theta, d1, d2):
+        curve = LinearQualityCurve(v_max=10.0, v_min=1.0)
+        near, far = sorted((d1, d2))
+        assert curve.value(1000 + near, 1000, theta) >= curve.value(1000 + far, 1000, theta)
+
+
+class TestJobProperties:
+    @given(task=tasks(), index=st.integers(min_value=0, max_value=50))
+    def test_job_window_lies_inside_release_window(self, task, index):
+        job = task.job(index)
+        lo, hi = job.window
+        assert lo >= job.release
+        if hi >= lo:
+            assert hi + job.wcet <= job.deadline or hi <= job.latest_start
+
+    @given(task=tasks(), index=st.integers(min_value=0, max_value=50))
+    def test_ideal_start_in_release_window(self, task, index):
+        job = task.job(index)
+        assert job.release <= job.ideal_start <= job.deadline
+
+
+class TestScheduleMetricProperties:
+    @given(
+        task_list=st.lists(tasks(), min_size=1, max_size=6, unique_by=lambda t: t.name),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_psi_and_upsilon_bounded(self, task_list, data):
+        # Build an arbitrary (possibly invalid) schedule and check metric bounds.
+        schedule = Schedule()
+        for task in task_list:
+            job = task.job(0)
+            start = data.draw(
+                st.integers(min_value=job.release, max_value=max(job.release, job.latest_start))
+            )
+            schedule.add(ScheduleEntry(job=job, start=start))
+        assert 0.0 <= psi(schedule) <= 1.0
+        assert 0.0 < upsilon(schedule) <= 1.0

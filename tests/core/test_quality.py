@@ -1,0 +1,66 @@
+"""Unit tests for the quality (value) curves."""
+
+import pytest
+
+from repro.core import LinearQualityCurve, StepQualityCurve
+
+
+class TestLinearQualityCurve:
+    def test_maximum_at_ideal_start(self):
+        curve = LinearQualityCurve(v_max=10.0, v_min=1.0)
+        assert curve.value(100, 100, theta=50) == pytest.approx(10.0)
+
+    def test_minimum_outside_boundary(self):
+        curve = LinearQualityCurve(v_max=10.0, v_min=1.0)
+        assert curve.value(200, 100, theta=50) == pytest.approx(1.0)
+        assert curve.value(0, 100, theta=50) == pytest.approx(1.0)
+
+    def test_minimum_exactly_at_boundary_edge(self):
+        curve = LinearQualityCurve(v_max=10.0, v_min=1.0)
+        assert curve.value(150, 100, theta=50) == pytest.approx(1.0)
+
+    def test_linear_decay_inside_boundary(self):
+        curve = LinearQualityCurve(v_max=10.0, v_min=0.0)
+        assert curve.value(125, 100, theta=50) == pytest.approx(5.0)
+        assert curve.value(75, 100, theta=50) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        curve = LinearQualityCurve(v_max=6.0, v_min=1.0)
+        for distance in (1, 10, 25, 49):
+            assert curve.value(100 + distance, 100, 50) == pytest.approx(
+                curve.value(100 - distance, 100, 50)
+            )
+
+    def test_zero_theta_gives_vmin_off_ideal(self):
+        curve = LinearQualityCurve(v_max=5.0, v_min=1.0)
+        assert curve.value(101, 100, theta=0) == pytest.approx(1.0)
+        assert curve.value(100, 100, theta=0) == pytest.approx(5.0)
+
+    def test_negative_penalty_vmin_supported(self):
+        # Safety-critical systems may use a large penalty value (footnote 1).
+        curve = LinearQualityCurve(v_max=10.0, v_min=-1000.0)
+        assert curve.value(0, 100, theta=10) == pytest.approx(-1000.0)
+
+    def test_rejects_vmax_below_vmin(self):
+        with pytest.raises(ValueError):
+            LinearQualityCurve(v_max=0.5, v_min=1.0)
+
+    def test_normalised(self):
+        curve = LinearQualityCurve(v_max=8.0, v_min=0.0)
+        assert curve.normalised(100, 100, 10) == pytest.approx(1.0)
+        assert curve.normalised(105, 100, 10) == pytest.approx(0.5)
+
+
+class TestStepQualityCurve:
+    def test_vmax_anywhere_inside_boundary(self):
+        curve = StepQualityCurve(v_max=4.0, v_min=1.0)
+        assert curve.value(100, 100, 10) == pytest.approx(4.0)
+        assert curve.value(110, 100, 10) == pytest.approx(4.0)
+
+    def test_vmin_outside_boundary(self):
+        curve = StepQualityCurve(v_max=4.0, v_min=1.0)
+        assert curve.value(111, 100, 10) == pytest.approx(1.0)
+
+    def test_rejects_vmax_below_vmin(self):
+        with pytest.raises(ValueError):
+            StepQualityCurve(v_max=0.0, v_min=1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for JSON serialisation of task sets and schedules."""
+
+import pytest
+
+from repro.core import MS, IOTask, TaskSet
+from repro.core.serialization import (
+    schedule_from_json,
+    schedule_to_json,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_json,
+    taskset_to_json,
+)
+from repro.scheduling import HeuristicScheduler
+
+
+def make_taskset() -> TaskSet:
+    return TaskSet(
+        [
+            IOTask(name="a", wcet=2 * MS, period=40 * MS, ideal_offset=10 * MS,
+                   theta=10 * MS, priority=2, v_max=3.0),
+            IOTask(name="b", wcet=4 * MS, period=80 * MS, ideal_offset=30 * MS,
+                   theta=20 * MS, priority=1, v_max=2.0, device="dev1"),
+        ]
+    )
+
+
+class TestTaskRoundTrip:
+    def test_task_dict_round_trip(self):
+        task = make_taskset()[0]
+        assert task_from_dict(task_to_dict(task)) == task
+
+    def test_unknown_field_rejected(self):
+        data = task_to_dict(make_taskset()[0])
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            task_from_dict(data)
+
+    def test_taskset_json_round_trip(self):
+        original = make_taskset()
+        restored = taskset_from_json(taskset_to_json(original))
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a == b
+        assert restored.utilisation == pytest.approx(original.utilisation)
+
+
+class TestScheduleRoundTrip:
+    def test_schedule_json_round_trip(self):
+        task_set = make_taskset()
+        result = HeuristicScheduler().schedule_taskset(task_set)
+        for device, partition in task_set.partition().items():
+            schedule = result.per_device[device].schedule
+            text = schedule_to_json(schedule, task_set)
+            restored = schedule_from_json(text, task_set)
+            assert len(restored) == len(schedule)
+            for entry in schedule.entries:
+                assert restored.start_of(entry.job) == entry.start
+
+    def test_schedule_refers_to_tasks_by_name(self):
+        task_set = make_taskset()
+        result = HeuristicScheduler().schedule_taskset(task_set)
+        text = schedule_to_json(result.per_device["dev0"].schedule, task_set)
+        assert '"task": "a"' in text

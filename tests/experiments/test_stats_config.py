@@ -1,0 +1,58 @@
+"""Unit tests for the experiment configuration and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentConfig, SeriesStats, format_table, mean
+from repro.experiments.stats import std
+
+
+class TestStats:
+    def test_mean_and_std(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=1e-3)
+        assert math.isnan(mean([]))
+        assert std([1.0]) == 0.0
+
+    def test_series_stats(self):
+        stats = SeriesStats.of([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.confidence_halfwidth() > 0
+
+    def test_series_stats_empty(self):
+        stats = SeriesStats.of([])
+        assert stats.n == 0
+        assert math.isnan(stats.mean)
+
+    def test_format_table_alignment_and_floats(self):
+        rows = [{"U": 0.3, "static": 1.0}, {"U": 0.6, "static": 0.75}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("U")
+        assert "0.750" in text
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+
+class TestExperimentConfig:
+    def test_default_and_presets(self):
+        default = ExperimentConfig()
+        quick = ExperimentConfig.quick()
+        smoke = ExperimentConfig.smoke()
+        paper = ExperimentConfig.paper_scale()
+        assert smoke.n_systems < quick.n_systems < default.n_systems < paper.n_systems
+        assert paper.n_systems == 1000
+        assert paper.ga.population_size == 300
+        assert len(paper.schedulability_utilisations) == 15
+        assert paper.schedulability_utilisations[0] == pytest.approx(0.2)
+        assert paper.schedulability_utilisations[-1] == pytest.approx(0.9)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(n_systems=3)
+        assert config.n_systems == 3

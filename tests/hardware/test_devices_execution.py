@@ -1,0 +1,150 @@
+"""Unit tests for the I/O device models and the execution module."""
+
+import pytest
+
+from repro.hardware import (
+    CANDevice,
+    ControllerMemory,
+    ExecutionUnit,
+    FaultInjector,
+    FaultRecoveryUnit,
+    FaultSpec,
+    GPIOPin,
+    IOCommand,
+    SchedulingTable,
+    SPIDevice,
+    Synchroniser,
+    TableEntry,
+    UARTDevice,
+)
+from repro.hardware.timer import GlobalTimer
+
+
+class TestDevices:
+    def test_gpio_pin_set_clear_toggle(self):
+        pin = GPIOPin("p0")
+        pin.execute(IOCommand("set", "p0", duration=1), time=0)
+        assert pin.level == 1
+        pin.execute(IOCommand("toggle", "p0", duration=1), time=1)
+        assert pin.level == 0
+        pin.execute(IOCommand("write", "p0", value=1, duration=1), time=2)
+        assert pin.level == 1
+
+    def test_device_records_operation_times(self):
+        pin = GPIOPin("p0")
+        pin.execute(IOCommand("set", "p0", duration=3), time=10, job_key=("t", 0))
+        assert pin.operation_times() == [10]
+        assert pin.first_operation_of(("t", 0)).duration == 3
+
+    def test_device_busy_rejection(self):
+        pin = GPIOPin("p0")
+        pin.execute(IOCommand("set", "p0", duration=5), time=0)
+        with pytest.raises(RuntimeError):
+            pin.execute(IOCommand("clear", "p0", duration=1), time=4)
+        pin.execute(IOCommand("clear", "p0", duration=1), time=5)
+
+    def test_unsupported_opcode_rejected(self):
+        uart = UARTDevice("u0")
+        with pytest.raises(ValueError):
+            uart.execute(IOCommand("toggle", "u0", duration=1), time=0)
+
+    def test_uart_transmits_bytes(self):
+        uart = UARTDevice("u0")
+        uart.execute(IOCommand("write", "u0", value=0x41, duration=9), time=0)
+        assert uart.transmitted == [0x41]
+
+    def test_spi_full_duplex(self):
+        spi = SPIDevice("s0", response_pattern=0xFF)
+        operation = spi.execute(IOCommand("write", "s0", value=0x0F, duration=8), time=0)
+        assert spi.mosi_log == [0x0F]
+        assert operation.value == 0xF0
+
+    def test_can_frames(self):
+        can = CANDevice("c0")
+        can.execute(IOCommand("write", "c0", value=0x123, duration=10), time=0)
+        assert can.frames == [0x123]
+
+
+class TestGlobalTimer:
+    def test_set_and_read_with_resolution(self):
+        timer = GlobalTimer(resolution=10)
+        timer.set(27)
+        assert timer.read() == 20
+        assert timer.ticks_until(45) == 3
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            GlobalTimer(resolution=0)
+        with pytest.raises(ValueError):
+            GlobalTimer().set(-1)
+
+
+def make_synchroniser(policy="skip", faults=None):
+    memory = ControllerMemory()
+    memory.store("tau0", [IOCommand("toggle", "d0", duration=4)])
+    table = SchedulingTable()
+    table.load(TableEntry("tau0", 0, start_time=100))
+    device = GPIOPin("d0")
+    synchroniser = Synchroniser(
+        table=table,
+        memory=memory,
+        exu=ExecutionUnit(device),
+        fault_recovery=FaultRecoveryUnit(missing_request_policy=policy),
+        fault_injector=FaultInjector(faults or []),
+    )
+    return synchroniser, table, device
+
+
+class TestSynchroniser:
+    def test_enabled_entry_executes_at_start_time(self):
+        synchroniser, table, device = make_synchroniser()
+        table.enable("tau0")
+        records = synchroniser.execute_due(100)
+        assert len(records) == 1
+        assert records[0].started_at == 100
+        assert records[0].finished_at == 104
+        assert device.operation_times() == [100]
+
+    def test_nothing_due_at_other_times(self):
+        synchroniser, table, _ = make_synchroniser()
+        table.enable("tau0")
+        assert synchroniser.execute_due(99) == []
+
+    def test_missing_request_skip_policy(self):
+        synchroniser, _, device = make_synchroniser(policy="skip")
+        records = synchroniser.execute_due(100)
+        assert records[0].skipped
+        assert records[0].fault == "missing-request"
+        assert device.operations == []
+        assert synchroniser.fault_recovery.faults_detected == 1
+
+    def test_missing_request_execute_policy(self):
+        synchroniser, _, device = make_synchroniser(policy="execute")
+        records = synchroniser.execute_due(100)
+        assert records[0].executed
+        assert synchroniser.fault_recovery.jobs_forced == 1
+        assert device.operation_times() == [100]
+
+    def test_corrupted_commands_never_reach_device(self):
+        faults = [FaultSpec(kind="corrupted-command", task_name="tau0")]
+        synchroniser, table, device = make_synchroniser(faults=faults)
+        table.enable("tau0")
+        records = synchroniser.execute_due(100)
+        assert records[0].skipped
+        assert device.operations == []
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="nonsense", task_name="t")
+
+    def test_injector_filters_by_task_and_job(self):
+        injector = FaultInjector([FaultSpec(kind="missing-request", task_name="a", job_index=2)])
+        assert injector.has("missing-request", "a", 2)
+        assert not injector.has("missing-request", "a", 3)
+        assert not injector.has("missing-request", "b", 2)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRecoveryUnit(missing_request_policy="retry")

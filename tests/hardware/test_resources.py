@@ -1,0 +1,105 @@
+"""Unit tests for the hardware primitive library and the Table I resource model."""
+
+import pytest
+
+from repro.hardware import PrimitiveLibrary, ResourceCost
+from repro.hardware.resources import (
+    PUBLISHED_TABLE1,
+    HardwareDesign,
+    estimate_all,
+    gpiocp_design,
+    microblaze_basic_design,
+    microblaze_full_design,
+    proposed_controller_design,
+    reference_designs,
+)
+
+
+class TestResourceCost:
+    def test_addition_and_scaling(self):
+        a = ResourceCost(luts=10, registers=20, dsps=1, bram_kb=2)
+        b = ResourceCost(luts=5, registers=5)
+        total = a + b
+        assert (total.luts, total.registers, total.dsps, total.bram_kb) == (15, 25, 1, 2)
+        scaled = b.scaled(3)
+        assert (scaled.luts, scaled.registers) == (15, 15)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceCost(luts=1).scaled(-1)
+
+
+class TestPrimitiveLibrary:
+    def test_lookup_and_total(self):
+        library = PrimitiveLibrary()
+        assert "counter32" in library
+        total = library.total({"counter32": 2, "register32": 1})
+        assert total.luts == 64
+        assert total.registers == 96
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            PrimitiveLibrary().cost_of("flux_capacitor")
+
+    def test_custom_primitive(self):
+        library = PrimitiveLibrary()
+        library.add("custom", ResourceCost(luts=7))
+        assert library.cost_of("custom").luts == 7
+
+
+class TestHardwareDesign:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareDesign(name="x", primitives={}, clock_mhz=0)
+        with pytest.raises(ValueError):
+            HardwareDesign(name="x", primitives={}, activity=0.0)
+        with pytest.raises(ValueError):
+            HardwareDesign(name="x", primitives={"counter32": -1})
+
+    def test_power_scales_with_activity_and_clock(self):
+        base = proposed_controller_design()
+        hot = HardwareDesign(
+            name="hot", primitives=base.primitives, clock_mhz=base.clock_mhz * 2,
+            activity=base.activity,
+        )
+        assert hot.estimate().power_mw == pytest.approx(base.estimate().power_mw * 2)
+
+    def test_processor_replication_scales_logic_but_not_memory(self):
+        one = proposed_controller_design(n_processors=1).cost()
+        four = proposed_controller_design(n_processors=4).cost()
+        assert four.luts > 2 * one.luts
+        assert four.bram_kb == one.bram_kb
+
+
+class TestTable1Reproduction:
+    def test_all_reference_designs_present(self):
+        assert set(reference_designs()) == set(PUBLISHED_TABLE1)
+
+    def test_estimates_within_ten_percent_of_published(self):
+        for name, estimate in estimate_all().items():
+            published = PUBLISHED_TABLE1[name]
+            assert estimate.luts == pytest.approx(published["luts"], rel=0.10)
+            assert estimate.registers == pytest.approx(published["registers"], rel=0.10)
+            assert estimate.dsps == published["dsps"]
+            assert estimate.bram_kb == published["bram_kb"]
+            assert estimate.power_mw == pytest.approx(published["power_mw"], rel=0.25)
+
+    def test_relative_claims_of_the_paper_hold(self):
+        estimates = estimate_all()
+        proposed = estimates["proposed"]
+        # More capable than GPIOCP, hence somewhat larger.
+        assert proposed.luts > estimates["gpiocp"].luts
+        assert proposed.registers > estimates["gpiocp"].registers
+        # Far smaller than a full MicroBlaze.
+        assert proposed.luts < 0.3 * estimates["microblaze-full"].luts
+        # Far less power-hungry than either MicroBlaze.
+        assert proposed.power_mw < 0.1 * estimates["microblaze-basic"].power_mw
+        assert proposed.power_mw < 0.1 * estimates["microblaze-full"].power_mw
+        # Larger than the plain serial-protocol controllers.
+        for simple in ("uart", "spi", "can"):
+            assert proposed.luts > estimates[simple].luts
+
+    def test_specific_designs_have_expected_features(self):
+        assert microblaze_full_design().cost().dsps > 0
+        assert microblaze_basic_design().cost().dsps == 0
+        assert gpiocp_design().cost().bram_kb == 16

@@ -1,0 +1,65 @@
+"""Unit tests for the mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc import MeshTopology, xy_route
+
+
+class TestMeshTopology:
+    def test_node_count_and_iteration(self):
+        mesh = MeshTopology(4, 3)
+        assert mesh.n_nodes == 12
+        assert len(list(mesh.nodes())) == 12
+
+    def test_neighbours_corner_edge_centre(self):
+        mesh = MeshTopology(3, 3)
+        assert len(mesh.neighbours((0, 0))) == 2
+        assert len(mesh.neighbours((1, 0))) == 3
+        assert len(mesh.neighbours((1, 1))) == 4
+
+    def test_contains(self):
+        mesh = MeshTopology(2, 2)
+        assert mesh.contains((1, 1))
+        assert not mesh.contains((2, 0))
+        assert not mesh.contains((-1, 0))
+
+    def test_manhattan_distance(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.manhattan_distance((0, 0), (3, 2)) == 5
+        assert mesh.manhattan_distance((2, 2), (2, 2)) == 0
+
+    def test_node_index_row_major(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.node_index((0, 0)) == 0
+        assert mesh.node_index((3, 0)) == 3
+        assert mesh.node_index((0, 1)) == 4
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 3)
+
+    def test_outside_node_rejected(self):
+        mesh = MeshTopology(2, 2)
+        with pytest.raises(ValueError):
+            mesh.neighbours((5, 5))
+
+
+class TestXYRouting:
+    def test_route_goes_x_first_then_y(self):
+        mesh = MeshTopology(4, 4)
+        route = xy_route((0, 0), (2, 2), mesh)
+        assert route == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_route_length_is_manhattan_distance_plus_one(self):
+        mesh = MeshTopology(5, 5)
+        route = xy_route((4, 1), (0, 3), mesh)
+        assert len(route) == mesh.manhattan_distance((4, 1), (0, 3)) + 1
+
+    def test_route_to_self(self):
+        mesh = MeshTopology(3, 3)
+        assert xy_route((1, 1), (1, 1), mesh) == [(1, 1)]
+
+    def test_route_rejects_outside_nodes(self):
+        mesh = MeshTopology(2, 2)
+        with pytest.raises(ValueError):
+            xy_route((0, 0), (5, 5), mesh)

@@ -1,0 +1,83 @@
+"""Unit tests for the FPS-offline baseline scheduler."""
+
+import pytest
+
+from repro.core import MS, IOTask, TaskSet, validate_schedule
+from repro.scheduling import FPSOfflineScheduler
+
+
+def make_task(name, wcet, period, priority, delta=None):
+    period_us = period * MS
+    return IOTask(
+        name=name,
+        wcet=wcet * MS,
+        period=period_us,
+        priority=priority,
+        ideal_offset=(period_us // 2) if delta is None else delta * MS,
+        theta=period_us // 4,
+    )
+
+
+class TestFPSOffline:
+    def test_empty_partition(self):
+        result = FPSOfflineScheduler().schedule_jobs([], horizon=1000)
+        assert result.schedulable
+        assert len(result.schedule) == 0
+
+    def test_highest_priority_runs_first_at_synchronous_release(self):
+        ts = TaskSet(
+            [
+                make_task("hi", 2, 20, priority=2),
+                make_task("lo", 3, 40, priority=1),
+            ]
+        )
+        result = FPSOfflineScheduler().schedule_taskset(ts)
+        schedule = result.per_device["dev0"].schedule
+        hi_job = ts.by_name("hi").job(0)
+        lo_job = ts.by_name("lo").job(0)
+        assert schedule.start_of(hi_job) == 0
+        assert schedule.start_of(lo_job) == 2 * MS
+
+    def test_work_conserving_idles_until_next_release(self):
+        ts = TaskSet([make_task("only", 2, 20, priority=1)])
+        result = FPSOfflineScheduler().schedule_taskset(ts)
+        schedule = result.per_device["dev0"].schedule
+        # Every job starts exactly at its release (the device is otherwise idle).
+        for entry in schedule.entries:
+            assert entry.start == entry.job.release
+
+    def test_produced_schedule_respects_constraints(self):
+        ts = TaskSet(
+            [
+                make_task("a", 2, 20, priority=3),
+                make_task("b", 4, 40, priority=2),
+                make_task("c", 6, 80, priority=1),
+            ]
+        )
+        result = FPSOfflineScheduler().schedule_taskset(ts)
+        assert result.schedulable
+        schedule = result.per_device["dev0"].schedule
+        assert validate_schedule(schedule, ts.jobs(), raise_on_error=False) == []
+
+    def test_detects_deadline_miss_from_blocking(self):
+        # A long low-priority job started at time 0 can block a later release
+        # of the short-deadline task past its deadline.
+        ts = TaskSet(
+            [
+                make_task("short", 2, 10, priority=2, delta=5),
+                make_task("long", 18, 60, priority=1, delta=20),
+            ]
+        )
+        result = FPSOfflineScheduler().schedule_taskset(ts)
+        assert not result.schedulable
+
+    def test_psi_is_zero_under_fps(self):
+        # FPS starts jobs as soon as possible, never at the (later) ideal instant.
+        ts = TaskSet(
+            [
+                make_task("a", 2, 40, priority=2),
+                make_task("b", 4, 80, priority=1),
+            ]
+        )
+        result = FPSOfflineScheduler().schedule_taskset(ts)
+        assert result.psi == 0.0

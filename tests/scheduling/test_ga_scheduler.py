@@ -1,0 +1,105 @@
+"""Unit tests for the GA-based scheduler wrapper."""
+
+import pytest
+
+from repro.core import MS, IOTask, TaskSet, validate_schedule
+from repro.scheduling import GAConfig, GAScheduler, HeuristicScheduler
+
+
+def make_task(name, wcet, period, delta, priority=1):
+    return IOTask(
+        name=name,
+        wcet=wcet * MS,
+        period=period * MS,
+        priority=priority,
+        ideal_offset=delta * MS,
+        theta=(period // 4) * MS,
+    )
+
+
+def small_config(**overrides):
+    params = dict(population_size=16, generations=8, seed=0)
+    params.update(overrides)
+    return GAConfig(**params)
+
+
+class TestGAScheduler:
+    def test_empty_partition(self):
+        result = GAScheduler(small_config()).schedule_jobs([], horizon=1000)
+        assert result.schedulable
+
+    def test_conflict_free_system_reaches_full_accuracy(self):
+        ts = TaskSet([make_task("a", 2, 40, delta=10), make_task("b", 2, 40, delta=20)])
+        result = GAScheduler(small_config()).schedule_taskset(ts)
+        assert result.schedulable
+        assert result.psi == pytest.approx(1.0)
+        assert result.upsilon == pytest.approx(1.0)
+
+    def test_produced_schedule_is_valid(self):
+        ts = TaskSet(
+            [
+                make_task("a", 4, 40, delta=10),
+                make_task("b", 4, 40, delta=11),
+                make_task("c", 4, 80, delta=30),
+            ]
+        )
+        result = GAScheduler(small_config()).schedule_taskset(ts)
+        assert result.schedulable
+        schedule = result.per_device["dev0"].schedule
+        assert validate_schedule(schedule, ts.jobs(), raise_on_error=False) == []
+
+    def test_info_exposes_pareto_front_and_best_points(self):
+        ts = TaskSet(
+            [
+                make_task("a", 4, 40, delta=10),
+                make_task("b", 4, 40, delta=11),
+            ]
+        )
+        info = GAScheduler(small_config()).schedule_taskset(ts).per_device["dev0"].info
+        assert info["pareto_size"] >= 1
+        assert 0.0 <= info["best_psi"] <= 1.0
+        assert 0.0 <= info["best_upsilon"] <= 1.0
+        assert info["best_psi_schedule"] is not None
+        assert info["best_upsilon_schedule"] is not None
+        # The best-Psi point cannot have lower Psi than the best-Upsilon point,
+        # and vice versa for Upsilon (they are extremes of the same front).
+        assert info["best_psi"] >= info["best_upsilon_psi"] - 1e-12
+        assert info["best_upsilon"] >= info["best_psi_upsilon"] - 1e-12
+
+    def test_seeding_makes_ga_at_least_as_good_as_heuristic(self):
+        ts = TaskSet(
+            [
+                make_task("a", 4, 40, delta=10),
+                make_task("b", 4, 40, delta=11),
+                make_task("c", 6, 80, delta=30),
+                make_task("d", 6, 80, delta=33),
+            ]
+        )
+        static = HeuristicScheduler().schedule_taskset(ts)
+        ga = GAScheduler(small_config()).schedule_taskset(ts)
+        assert ga.schedulable
+        info = ga.per_device["dev0"].info
+        assert info["best_psi"] >= static.psi - 1e-9
+        assert info["best_upsilon"] >= static.upsilon - 1e-9
+
+    def test_deterministic_with_seed(self):
+        ts = TaskSet([make_task("a", 4, 40, delta=10), make_task("b", 4, 40, delta=11)])
+        r1 = GAScheduler(small_config(seed=7)).schedule_taskset(ts)
+        r2 = GAScheduler(small_config(seed=7)).schedule_taskset(ts)
+        assert r1.psi == pytest.approx(r2.psi)
+        assert r1.upsilon == pytest.approx(r2.upsilon)
+
+    def test_paper_scale_config(self):
+        config = GAConfig.paper_scale()
+        assert config.population_size == 300
+        assert config.generations == 500
+
+    def test_infeasible_partition_reported(self):
+        ts = TaskSet(
+            [
+                make_task("a", 12, 20, delta=5),
+                make_task("b", 12, 20, delta=6),
+            ]
+        )
+        result = GAScheduler(small_config()).schedule_taskset(ts)
+        assert not result.schedulable

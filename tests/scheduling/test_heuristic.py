@@ -1,0 +1,93 @@
+"""Unit tests for the heuristic ("static") scheduler — Algorithm 1."""
+
+import pytest
+
+from repro.core import MS, IOTask, TaskSet, validate_schedule
+from repro.scheduling import FPSOfflineScheduler, HeuristicScheduler
+from repro.taskgen import SystemGenerator
+
+
+def make_task(name, wcet, period, delta, priority=1, device="dev0"):
+    return IOTask(
+        name=name,
+        wcet=wcet * MS,
+        period=period * MS,
+        priority=priority,
+        ideal_offset=delta * MS,
+        theta=(period // 4) * MS,
+        device=device,
+    )
+
+
+class TestHeuristicScheduler:
+    def test_empty_partition_is_schedulable(self):
+        result = HeuristicScheduler().schedule_jobs([], horizon=1000)
+        assert result.schedulable
+
+    def test_conflict_free_jobs_all_exact(self):
+        ts = TaskSet([make_task("a", 2, 40, delta=10), make_task("b", 2, 40, delta=20)])
+        result = HeuristicScheduler().schedule_taskset(ts)
+        assert result.schedulable
+        assert result.psi == pytest.approx(1.0)
+
+    def test_conflicting_pair_keeps_one_exact(self):
+        ts = TaskSet([make_task("a", 4, 40, delta=10), make_task("b", 4, 40, delta=11)])
+        result = HeuristicScheduler().schedule_taskset(ts)
+        assert result.schedulable
+        assert result.psi == pytest.approx(0.5)
+        device_result = result.per_device["dev0"]
+        assert device_result.info["n_sacrificed"] == 1
+
+    def test_produced_schedules_always_valid(self):
+        for seed in range(6):
+            task_set = SystemGenerator(rng=seed).generate(0.5)
+            result = HeuristicScheduler().schedule_taskset(task_set)
+            if not result.schedulable:
+                continue
+            for device, partition in task_set.partition().items():
+                schedule = result.per_device[device].schedule
+                violations = validate_schedule(schedule, partition.jobs(), raise_on_error=False)
+                assert violations == []
+
+    def test_psi_at_least_as_high_as_fps(self):
+        for seed in range(5):
+            task_set = SystemGenerator(rng=100 + seed).generate(0.5)
+            static = HeuristicScheduler().schedule_taskset(task_set)
+            fps = FPSOfflineScheduler().schedule_taskset(task_set)
+            if static.schedulable and fps.schedulable:
+                assert static.psi >= fps.psi
+
+    def test_multi_device_partitions_scheduled_independently(self):
+        ts = TaskSet(
+            [
+                make_task("a", 4, 40, delta=10, device="d0"),
+                make_task("b", 4, 40, delta=10, device="d1"),
+            ]
+        )
+        result = HeuristicScheduler().schedule_taskset(ts)
+        # Identical ideal times on different devices never conflict.
+        assert result.schedulable
+        assert result.psi == pytest.approx(1.0)
+
+    def test_info_counts_are_consistent(self):
+        ts = TaskSet(
+            [
+                make_task("a", 4, 40, delta=10),
+                make_task("b", 4, 40, delta=11),
+                make_task("c", 4, 40, delta=30),
+            ]
+        )
+        info = HeuristicScheduler().schedule_taskset(ts).per_device["dev0"].info
+        assert info["n_kept"] + info["n_sacrificed"] == info["n_input_jobs"]
+        assert info["allocated_direct"] + info["allocated_by_shift"] == info["n_sacrificed"]
+
+    def test_reports_infeasible_without_raising(self):
+        # Overloaded partition (utilisation > 1): must return infeasible cleanly.
+        ts = TaskSet(
+            [
+                make_task("a", 12, 20, delta=5),
+                make_task("b", 12, 20, delta=6),
+            ]
+        )
+        result = HeuristicScheduler().schedule_taskset(ts)
+        assert not result.schedulable

@@ -1,0 +1,57 @@
+"""Unit tests for the simulation clock and trace recorder."""
+
+import pytest
+
+from repro.sim import SimClock, TraceRecorder
+
+
+class TestSimClock:
+    def test_advance_and_read(self):
+        clock = SimClock()
+        clock.advance_to(17)
+        assert clock.now == 17
+        assert clock.raw_time == 17
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock()
+        clock.advance_to(10)
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    def test_resolution_quantises_reading(self):
+        clock = SimClock(resolution=10)
+        clock.advance_to(27)
+        assert clock.now == 20
+
+    def test_offset_applied(self):
+        clock = SimClock(offset=3)
+        clock.advance_to(10)
+        assert clock.now == 13
+
+    def test_next_tick_at_or_after(self):
+        clock = SimClock(resolution=8)
+        assert clock.next_tick_at_or_after(16) == 16
+        assert clock.next_tick_at_or_after(17) == 24
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            SimClock(resolution=0)
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1, source="a", kind="start", value=1)
+        trace.record(2, source="b", kind="start")
+        trace.record(3, source="a", kind="finish")
+        assert len(trace) == 3
+        assert len(trace.filter(source="a")) == 2
+        assert len(trace.filter(kind="start")) == 2
+        assert trace.first(source="a", kind="finish").time == 3
+        assert trace.first(kind="missing") is None
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1, source="a", kind="x")
+        trace.clear()
+        assert len(trace) == 0

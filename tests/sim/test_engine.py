@@ -1,0 +1,75 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestSimulator:
+    def test_runs_events_in_order_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.at(10, lambda: seen.append(("a", sim.now)))
+        sim.at(5, lambda: seen.append(("b", sim.now)))
+        processed = sim.run()
+        assert processed == 2
+        assert seen == [("b", 5), ("a", 10)]
+        assert sim.now == 10
+
+    def test_after_schedules_relative_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5, lambda: sim.after(7, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [12]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5, lambda: seen.append(5))
+        sim.at(50, lambda: seen.append(50))
+        sim.run(until=20)
+        assert seen == [5]
+        assert sim.now == 20
+        sim.run()
+        assert seen == [5, 50]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1, lambda: None)
+
+    def test_stop_from_within_event(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1, lambda: (seen.append(1), sim.stop()))
+        sim.at(2, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.at(t, lambda: None)
+        assert sim.run(max_events=4) == 4
+
+    def test_cancel_scheduled_event(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.at(3, lambda: seen.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert seen == []
+
+    def test_trace_recording(self):
+        sim = Simulator()
+        sim.at(7, lambda: sim.trace.record(sim.now, source="unit", kind="tick"))
+        sim.run()
+        assert len(sim.trace) == 1
+        assert sim.trace.first(kind="tick").time == 7

@@ -1,0 +1,84 @@
+"""Unit and property tests for the synthetic-system generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MS
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+
+class TestSystemGenerator:
+    def test_task_count_follows_paper_rule(self):
+        generator = SystemGenerator(rng=1)
+        assert generator.n_tasks_for_utilisation(0.5) == 10
+        assert generator.n_tasks_for_utilisation(0.2) == 4
+        assert len(generator.generate(0.3)) == 6
+
+    def test_total_utilisation_close_to_target(self):
+        task_set = SystemGenerator(rng=2).generate(0.6)
+        assert task_set.utilisation == pytest.approx(0.6, abs=0.05)
+
+    def test_hyperperiod_divides_1440ms(self):
+        task_set = SystemGenerator(rng=3).generate(0.4)
+        assert (1440 * MS) % task_set.hyperperiod() == 0
+
+    def test_theta_is_quarter_period_and_at_least_wcet(self):
+        task_set = SystemGenerator(rng=4).generate(0.7)
+        for task in task_set:
+            assert task.theta == task.period // 4
+            assert task.theta >= task.wcet
+
+    def test_delta_within_quality_window_bounds(self):
+        task_set = SystemGenerator(rng=5).generate(0.5)
+        for task in task_set:
+            assert task.theta <= task.ideal_offset <= task.deadline - task.theta
+
+    def test_vmax_is_priority_plus_one(self):
+        task_set = SystemGenerator(rng=6).generate(0.5)
+        for task in task_set:
+            assert task.v_max == pytest.approx(task.priority + 1.0)
+            assert task.v_min == pytest.approx(1.0)
+
+    def test_dmpo_priorities_unique(self):
+        task_set = SystemGenerator(rng=7).generate(0.6)
+        priorities = [task.priority for task in task_set]
+        assert len(set(priorities)) == len(priorities)
+
+    def test_deterministic_with_seed(self):
+        a = SystemGenerator(rng=42).generate(0.4)
+        b = SystemGenerator(rng=42).generate(0.4)
+        assert [(t.name, t.wcet, t.period, t.ideal_offset) for t in a] == [
+            (t.name, t.wcet, t.period, t.ideal_offset) for t in b
+        ]
+
+    def test_multi_device_round_robin(self):
+        config = GeneratorConfig(n_devices=3)
+        task_set = SystemGenerator(config, rng=8).generate(0.6)
+        assert len(task_set.devices) == 3
+
+    def test_generate_many(self):
+        systems = SystemGenerator(rng=9).generate_many(0.3, count=4)
+        assert len(systems) == 4
+
+    def test_invalid_inputs_rejected(self):
+        generator = SystemGenerator(rng=1)
+        with pytest.raises(ValueError):
+            generator.generate(0.0)
+        with pytest.raises(ValueError):
+            generator.generate(0.3, n_tasks=0)
+        with pytest.raises(ValueError):
+            generator.generate_many(0.3, count=0)
+
+    @given(
+        utilisation=st.floats(min_value=0.2, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_generated_tasks_are_well_formed(self, utilisation, seed):
+        task_set = SystemGenerator(rng=seed).generate(round(utilisation, 2))
+        for task in task_set:
+            assert 0 < task.wcet <= task.deadline == task.period
+            assert task.theta >= task.wcet
+            assert 0 <= task.ideal_offset <= task.deadline
+        assert task_set.utilisation <= 1.0

@@ -1,0 +1,49 @@
+"""Unit tests for period generation."""
+
+import pytest
+
+from repro.core import MS
+from repro.taskgen import PAPER_HYPERPERIOD_MS, candidate_periods, draw_periods
+from repro.taskgen.periods import divisors
+
+
+class TestDivisors:
+    def test_divisors_of_12(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_divisors_of_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+class TestCandidatePeriods:
+    def test_all_divide_hyperperiod(self):
+        for period in candidate_periods():
+            assert (PAPER_HYPERPERIOD_MS * MS) % period == 0
+
+    def test_range_filter(self):
+        periods = candidate_periods(min_period_ms=48, max_period_ms=480)
+        assert min(periods) >= 48 * MS
+        assert max(periods) <= 480 * MS
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            candidate_periods(min_period_ms=1441)
+
+
+class TestDrawPeriods:
+    def test_count_and_membership(self):
+        candidates = set(candidate_periods(min_period_ms=48, max_period_ms=480))
+        drawn = draw_periods(50, rng=3, min_period_ms=48, max_period_ms=480)
+        assert len(drawn) == 50
+        assert all(period in candidates for period in drawn)
+
+    def test_deterministic_with_seed(self):
+        assert draw_periods(10, rng=11) == draw_periods(10, rng=11)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            draw_periods(0, rng=1)

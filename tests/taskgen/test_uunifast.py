@@ -1,0 +1,58 @@
+"""Unit and property tests for the UUniFast utilisation generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taskgen import uunifast, uunifast_discard
+
+
+class TestUUniFast:
+    def test_sums_to_total(self):
+        values = uunifast(10, 0.5, rng=1)
+        assert sum(values) == pytest.approx(0.5)
+        assert len(values) == 10
+
+    def test_all_non_negative(self):
+        values = uunifast(20, 0.9, rng=2)
+        assert all(v >= 0 for v in values)
+
+    def test_single_task_gets_everything(self):
+        assert uunifast(1, 0.3, rng=3) == [pytest.approx(0.3)]
+
+    def test_deterministic_with_seed(self):
+        assert uunifast(5, 0.4, rng=42) == uunifast(5, 0.4, rng=42)
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(7)
+        values = uunifast(4, 0.2, rng=rng)
+        assert sum(values) == pytest.approx(0.2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(5, 0.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        total=st.floats(min_value=0.05, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=60)
+    def test_property_sum_and_bounds(self, n, total, seed):
+        values = uunifast(n, total, rng=seed)
+        assert sum(values) == pytest.approx(total, rel=1e-9, abs=1e-12)
+        assert all(0 <= v <= total + 1e-12 for v in values)
+
+
+class TestUUniFastDiscard:
+    def test_respects_cap(self):
+        values = uunifast_discard(8, 0.4, rng=5, max_task_utilisation=0.25)
+        assert all(v <= 0.25 for v in values)
+        assert sum(values) == pytest.approx(0.4)
+
+    def test_impossible_cap_raises(self):
+        with pytest.raises(RuntimeError):
+            uunifast_discard(2, 0.9, rng=1, max_task_utilisation=0.3, max_attempts=20)

@@ -1,0 +1,87 @@
+"""End-to-end integration tests: generator -> scheduler -> controller -> metrics."""
+
+import pytest
+
+from repro import (
+    FPSOfflineScheduler,
+    GAConfig,
+    GAScheduler,
+    GPIOCPScheduler,
+    HeuristicScheduler,
+)
+from repro.analysis import FPSOnlineTest
+from repro.core import validate_schedule
+from repro.hardware import IOController
+from repro.sim import Simulator
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+
+@pytest.fixture(scope="module")
+def medium_system():
+    return SystemGenerator(GeneratorConfig(n_devices=2), rng=2020).generate(0.5)
+
+
+class TestFullPipeline:
+    def test_generate_schedule_execute_measure(self, medium_system):
+        """The paper's full flow: pre-load, schedule offline, execute at run time."""
+        offline = HeuristicScheduler().schedule_taskset(medium_system)
+        assert offline.schedulable
+
+        controller = IOController()
+        controller.preload_taskset(medium_system)
+        controller.load_system_schedule(
+            {d: r.schedule for d, r in offline.per_device.items()}
+        )
+        runtime = controller.run(Simulator())
+
+        assert runtime.matches_offline
+        assert runtime.psi == pytest.approx(offline.psi)
+        assert runtime.skipped_jobs == 0
+        assert runtime.executed_jobs == len(medium_system.jobs())
+
+    def test_all_schedulers_agree_on_job_coverage(self, medium_system):
+        jobs_expected = {job.key for job in medium_system.jobs()}
+        for scheduler in (FPSOfflineScheduler(), GPIOCPScheduler(), HeuristicScheduler()):
+            result = scheduler.schedule_taskset(medium_system)
+            scheduled = {
+                entry.job.key
+                for device_result in result.per_device.values()
+                for entry in device_result.schedule.entries
+            }
+            assert scheduled == jobs_expected
+
+    def test_method_ordering_on_one_system(self, medium_system):
+        """The qualitative relationships of Figures 5-7 on a single system."""
+        fps = FPSOfflineScheduler().schedule_taskset(medium_system)
+        gpiocp = GPIOCPScheduler().schedule_taskset(medium_system)
+        static = HeuristicScheduler().schedule_taskset(medium_system)
+        ga = GAScheduler(GAConfig(population_size=20, generations=10, seed=1)).schedule_taskset(
+            medium_system
+        )
+
+        assert fps.psi == 0.0
+        assert static.psi >= gpiocp.psi - 1e-9
+        assert ga.upsilon >= static.upsilon - 1e-9
+        assert static.upsilon >= fps.upsilon
+        # The analytical FPS-online test accepts only what the offline FPS can do.
+        if FPSOnlineTest().is_schedulable(medium_system):
+            assert fps.schedulable
+
+    def test_every_schedulable_result_validates(self, medium_system):
+        schedulers = [
+            FPSOfflineScheduler(),
+            GPIOCPScheduler(),
+            HeuristicScheduler(),
+            GAScheduler(GAConfig(population_size=16, generations=8, seed=2)),
+        ]
+        for scheduler in schedulers:
+            result = scheduler.schedule_taskset(medium_system)
+            if not result.schedulable:
+                continue
+            for device, partition in medium_system.partition().items():
+                violations = validate_schedule(
+                    result.per_device[device].schedule,
+                    partition.jobs(),
+                    raise_on_error=False,
+                )
+                assert violations == [], f"{scheduler.name} produced {violations}"
