@@ -4,7 +4,13 @@ Every benchmark regenerates one table or figure of the paper at a reduced
 scale (fewer random systems, smaller GA budget) so the whole suite completes
 in minutes; the ``ExperimentConfig.paper_scale()`` configuration reproduces
 the full-size evaluation when more compute is available.
+
+The figure benchmarks run through the parallel experiment engine; set
+``REPRO_BENCH_WORKERS`` to a worker count to benchmark the multi-process
+path (the default of 1 keeps timings comparable across machines).
 """
+
+import os
 
 import pytest
 
@@ -14,4 +20,5 @@ from repro.experiments import ExperimentConfig
 @pytest.fixture(scope="session")
 def quick_config() -> ExperimentConfig:
     """The reduced-scale experiment configuration shared by the benchmarks."""
-    return ExperimentConfig.quick()
+    n_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return ExperimentConfig.quick().with_overrides(n_workers=n_workers)

@@ -1,0 +1,91 @@
+"""Benchmarks of the parallel experiment engine and its artifact cache.
+
+Two properties are demonstrated on ``ExperimentConfig.quick()``:
+
+* **parallel speedup** — the schedulability sweep on 4 workers is at least
+  2x faster than the serial run (asserted only when the machine actually has
+  >= 4 CPUs; the determinism assertion — bit-identical series at any worker
+  count — holds everywhere);
+* **near-free cache hits** — re-running a sweep against a populated artifact
+  store recomputes nothing and completes orders of magnitude faster.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentEngine
+
+PARALLEL_WORKERS = 4
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_parallel_speedup(benchmark, quick_config, tmp_path_factory):
+    config = quick_config.with_overrides(n_workers=1, artifact_dir=None)
+
+    start = time.perf_counter()
+    with ExperimentEngine(config, n_workers=1) as engine:
+        serial = engine.schedulability_sweep()
+    serial_seconds = time.perf_counter() - start
+
+    def parallel_run():
+        with ExperimentEngine(config, n_workers=PARALLEL_WORKERS) as engine:
+            return engine.schedulability_sweep()
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - start
+
+    # Bit-identical results at any worker count, on any machine.
+    assert parallel.series == serial.series
+    assert parallel.utilisations == serial.utilisations
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print()
+    print(
+        f"engine speedup: serial {serial_seconds:.2f}s, "
+        f"{PARALLEL_WORKERS} workers {parallel_seconds:.2f}s "
+        f"-> {speedup:.2f}x on {os.cpu_count()} CPUs"
+    )
+    # Wall-clock assertions need dedicated cores: skip on machines with too
+    # few CPUs and on shared CI runners (neighbour load makes timing flaky).
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS and not os.environ.get("CI"):
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {PARALLEL_WORKERS} workers on "
+            f"{os.cpu_count()} CPUs, measured {speedup:.2f}x"
+        )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_artifact_cache_makes_reruns_near_free(benchmark, quick_config, tmp_path_factory):
+    artifact_dir = str(tmp_path_factory.mktemp("engine-cache"))
+    config = quick_config.with_overrides(n_workers=1, artifact_dir=artifact_dir)
+
+    start = time.perf_counter()
+    with ExperimentEngine(config) as engine:
+        cold = engine.schedulability_sweep()
+        cold_cells = engine.cells_computed
+    cold_seconds = time.perf_counter() - start
+
+    def warm_run():
+        with ExperimentEngine(config) as engine:
+            result = engine.schedulability_sweep()
+            assert engine.cells_computed == 0, "cache hit must not recompute cells"
+            return result
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+
+    assert cold_cells > 0
+    assert warm.series == cold.series
+    print()
+    print(
+        f"artifact cache: cold {cold_seconds:.2f}s ({cold_cells} cells), "
+        f"warm {warm_seconds:.3f}s"
+    )
+    assert warm_seconds < cold_seconds / 5, (
+        f"cached rerun ({warm_seconds:.3f}s) should be far faster than the "
+        f"cold run ({cold_seconds:.2f}s)"
+    )

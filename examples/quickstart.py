@@ -3,20 +3,12 @@
 Run with ``python examples/quickstart.py``.
 
 The example builds a small task set by hand (times in milliseconds), schedules
-it with the paper's two methods plus the FPS and GPIOCP baselines, and prints
-the per-method timing-accuracy metrics and the explicit schedule produced by
-the heuristic.
+it with the paper's two methods plus the FPS and GPIOCP baselines — looked up
+by name through the scheduler registry — and prints the per-method
+timing-accuracy metrics and the explicit schedule produced by the heuristic.
 """
 
-from repro import (
-    FPSOfflineScheduler,
-    GAConfig,
-    GAScheduler,
-    GPIOCPScheduler,
-    HeuristicScheduler,
-    TaskSet,
-    make_task_ms,
-)
+from repro import GAConfig, TaskSet, create_scheduler, make_task_ms
 
 
 def build_taskset() -> TaskSet:
@@ -40,11 +32,13 @@ def main() -> None:
           f"hyper-period {task_set.hyperperiod() / 1000:.0f} ms")
     print()
 
+    # Methods are resolved by name through the scheduler registry; only the GA
+    # takes a configuration object (its search budget and RNG seed).
     schedulers = [
-        FPSOfflineScheduler(),
-        GPIOCPScheduler(),
-        HeuristicScheduler(),
-        GAScheduler(GAConfig(population_size=40, generations=30, seed=1)),
+        create_scheduler("fps-offline"),
+        create_scheduler("gpiocp"),
+        create_scheduler("static"),
+        create_scheduler("ga", GAConfig(population_size=40, generations=30, seed=1)),
     ]
 
     print(f"{'method':<14} {'schedulable':<12} {'Psi':>6} {'Upsilon':>8}")

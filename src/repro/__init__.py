@@ -37,6 +37,9 @@ from repro.scheduling import (
     ScheduleResult,
     Scheduler,
     SystemScheduleResult,
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
 )
 from repro.taskgen import GeneratorConfig, SystemGenerator
 
@@ -60,6 +63,9 @@ __all__ = [
     "HeuristicScheduler",
     "GAScheduler",
     "GAConfig",
+    "register_scheduler",
+    "create_scheduler",
+    "available_schedulers",
     "SystemGenerator",
     "GeneratorConfig",
     "__version__",

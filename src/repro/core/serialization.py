@@ -9,8 +9,9 @@ consume it.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.task import IOTask, TaskSet
@@ -89,3 +90,62 @@ def schedule_to_json(schedule: Schedule, task_set: TaskSet, *, indent: int = 2) 
 
 def schedule_from_json(text: str, task_set: TaskSet) -> Schedule:
     return schedule_from_dict(json.loads(text), task_set)
+
+
+# -- versioned payloads and content hashing ------------------------------------
+#
+# Experiment artifacts (sweep results, cached evaluation cells) are persisted
+# across runs and possibly across versions of this package, so every on-disk
+# payload carries an explicit ``kind`` and integer ``version``.  Readers check
+# both and fail loudly on mismatch instead of silently misinterpreting stale
+# files.  Content keys (cache directories) are derived from the canonical JSON
+# form so that logically-equal configurations hash identically regardless of
+# dict ordering.
+
+
+class PayloadVersionError(ValueError):
+    """A payload was written by a newer format version than this reader.
+
+    Distinct from generic ``ValueError`` corruption so callers that fall back
+    to recomputing on unreadable data can still fail loudly here — silently
+    recomputing (and overwriting) a *newer* artifact would destroy it.
+    """
+
+
+def versioned_payload(kind: str, version: int, data: Any) -> Dict[str, Any]:
+    """Wrap ``data`` in the standard ``{kind, version, data}`` envelope."""
+    return {"kind": kind, "version": int(version), "data": data}
+
+
+def parse_versioned_payload(
+    payload: Dict[str, Any], kind: str, *, max_version: int
+) -> Tuple[int, Any]:
+    """Validate a versioned envelope; returns ``(version, data)``.
+
+    Raises ``ValueError`` when the kind does not match or the version is newer
+    than this reader understands (older versions are the caller's business —
+    that is what the returned version number is for).
+    """
+    found_kind = payload.get("kind")
+    if found_kind != kind:
+        raise ValueError(f"expected payload kind {kind!r}, found {found_kind!r}")
+    version = payload.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"invalid payload version {version!r} for kind {kind!r}")
+    if version > max_version:
+        raise PayloadVersionError(
+            f"payload kind {kind!r} has version {version}, "
+            f"but this reader only understands versions <= {max_version}"
+        )
+    return version, payload.get("data")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace) for hashing."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj: Any, *, length: int = 16) -> str:
+    """Hex digest of the canonical JSON form of ``obj`` (content cache key)."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:length]

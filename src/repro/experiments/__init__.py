@@ -13,20 +13,39 @@
   (:func:`repro.experiments.controller_sim.run_controller_sim`).
 """
 
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    accuracy_sweep_from_json,
+    accuracy_sweep_to_json,
+    config_fingerprint,
+    sweep_result_from_json,
+    sweep_result_to_json,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.controller_sim import ControllerSimResult, run_controller_sim
+from repro.experiments.engine import CellResult, EvalJob, ExperimentEngine
 from repro.experiments.fig5_schedulability import run_fig5
 from repro.experiments.fig6_psi import run_fig6
 from repro.experiments.fig7_upsilon import run_fig7
-from repro.experiments.runner import AccuracySweepResult, ExperimentRunner, SweepResult
+from repro.experiments.results import AccuracySweepResult, SweepResult
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.stats import SeriesStats, format_table, mean
 from repro.experiments.table1_resources import run_table1
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentRunner",
+    "ExperimentEngine",
+    "EvalJob",
+    "CellResult",
     "SweepResult",
     "AccuracySweepResult",
+    "ArtifactStore",
+    "config_fingerprint",
+    "sweep_result_to_json",
+    "sweep_result_from_json",
+    "accuracy_sweep_to_json",
+    "accuracy_sweep_from_json",
     "run_fig5",
     "run_fig6",
     "run_fig7",

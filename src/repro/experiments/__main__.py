@@ -1,0 +1,122 @@
+"""CLI entry point for the experiment harness: ``python -m repro.experiments``.
+
+Examples::
+
+    # Reduced-scale Figure 5 on four workers, with a resumable artifact cache
+    python -m repro.experiments fig5 --scale quick --workers 4 --artifact-dir artifacts/
+
+    # The paper's full evaluation (hours of compute); interrupt and re-launch
+    # with the same command line to resume from the cached cells
+    python -m repro.experiments all --scale paper --workers 8 --artifact-dir artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.fig6_psi import run_fig6
+from repro.experiments.fig7_upsilon import run_fig7
+from repro.experiments.table1_resources import run_table1
+
+FIGURES = ("fig5", "fig6", "fig7", "table1", "all")
+
+_SCALES = {
+    "smoke": ExperimentConfig.smoke,
+    "quick": ExperimentConfig.quick,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=FIGURES,
+        help="which figure/table to regenerate ('all' runs everything; "
+        "fig6 and fig7 share one accuracy sweep)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="experiment scale preset (default: quick)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the evaluation engine (default: 1)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for persistent sweep artifacts and the resumable "
+        "cell cache (omit to keep everything in memory)",
+    )
+    parser.add_argument(
+        "--no-ga",
+        action="store_true",
+        help="skip the GA method (it dominates the run time)",
+    )
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = _SCALES[args.scale]()
+    overrides = {"n_workers": args.workers, "artifact_dir": args.artifact_dir}
+    if args.no_ga:
+        overrides["include_ga"] = False
+    return config.with_overrides(**overrides)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = make_config(args)
+    except ValueError as error:
+        parser.error(str(error))
+
+    wants = (args.figure,) if args.figure != "all" else ("fig5", "fig6", "fig7", "table1")
+
+    if "table1" in wants:
+        artifact_path = (
+            Path(args.artifact_dir) / "table1.json" if args.artifact_dir else None
+        )
+        run_table1(verbose=True, artifact_path=artifact_path)
+        print()
+
+    needs_engine = any(figure in wants for figure in ("fig5", "fig6", "fig7"))
+    if needs_engine:
+        with ExperimentEngine(config) as engine:
+            if "fig5" in wants:
+                result = engine.schedulability_sweep()
+                print("Figure 5 — fraction of schedulable systems")
+                print(result.to_table())
+                print()
+            if "fig6" in wants or "fig7" in wants:
+                accuracy = engine.accuracy_sweep()
+                if "fig6" in wants:
+                    run_fig6(config, verbose=True, precomputed=accuracy)
+                    print()
+                if "fig7" in wants:
+                    run_fig7(config, verbose=True, precomputed=accuracy)
+                    print()
+
+    if args.artifact_dir:
+        print(f"artifacts written under {args.artifact_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

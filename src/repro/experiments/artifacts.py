@@ -1,0 +1,271 @@
+"""Persistent, versioned experiment artifacts and the resumable cell cache.
+
+Two kinds of state are persisted under an artifact directory:
+
+* **Sweep results** — completed :class:`~repro.experiments.results.SweepResult`
+  / :class:`~repro.experiments.results.AccuracySweepResult` values, written as
+  versioned JSON (see :mod:`repro.core.serialization`) so they can be plotted,
+  diffed or reloaded without re-running anything.
+* **Evaluation cells** — the per-``(utilisation, system, method)`` outcomes the
+  engine computes, appended to a ``cells.jsonl`` journal as they complete.  A
+  sweep interrupted mid-run resumes from the journal: already-finished cells
+  are served from disk and only the remainder is recomputed.
+
+Artifacts are *content-keyed*: every store lives in a subdirectory named by a
+hash of the cell-relevant configuration (base seed, generator parameters, GA
+budget), so runs with different configurations can share one artifact root
+without ever mixing results.  Sweep-shape parameters (which utilisation points,
+how many systems, worker count) deliberately do not enter the key — a cell's
+value does not depend on them, so enlarging a sweep reuses every cell already
+computed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.serialization import (
+    canonical_json,
+    content_hash,
+    parse_versioned_payload,
+    versioned_payload,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import AccuracySweepResult, SweepResult
+
+SWEEP_KIND = "repro/sweep-result"
+SWEEP_VERSION = 1
+ACCURACY_KIND = "repro/accuracy-sweep"
+ACCURACY_VERSION = 1
+TABLE1_KIND = "repro/table1"
+TABLE1_VERSION = 1
+CELL_CACHE_KIND = "repro/cell-cache"
+CELL_CACHE_VERSION = 1
+
+#: Key of one cached evaluation cell: (utilisation, system index, method).
+CellKey = Tuple[float, int, str]
+
+
+# -- sweep results as versioned JSON -------------------------------------------
+
+
+def sweep_result_to_dict(result: SweepResult) -> Dict[str, Any]:
+    return versioned_payload(
+        SWEEP_KIND,
+        SWEEP_VERSION,
+        {
+            "name": result.name,
+            "utilisations": list(result.utilisations),
+            "series": {method: list(values) for method, values in result.series.items()},
+        },
+    )
+
+
+def sweep_result_from_dict(payload: Dict[str, Any]) -> SweepResult:
+    _, data = parse_versioned_payload(payload, SWEEP_KIND, max_version=SWEEP_VERSION)
+    return SweepResult(
+        name=data["name"],
+        utilisations=[float(u) for u in data["utilisations"]],
+        series={method: [float(v) for v in values] for method, values in data["series"].items()},
+    )
+
+
+def sweep_result_to_json(result: SweepResult, *, indent: int = 2) -> str:
+    return json.dumps(sweep_result_to_dict(result), indent=indent)
+
+
+def sweep_result_from_json(text: str) -> SweepResult:
+    return sweep_result_from_dict(json.loads(text))
+
+
+def accuracy_sweep_to_dict(result: AccuracySweepResult) -> Dict[str, Any]:
+    return versioned_payload(
+        ACCURACY_KIND,
+        ACCURACY_VERSION,
+        {
+            "psi": sweep_result_to_dict(result.psi),
+            "upsilon": sweep_result_to_dict(result.upsilon),
+            # JSON object keys must be strings; store the float keys as pairs.
+            "systems_evaluated": [
+                [utilisation, count] for utilisation, count in result.systems_evaluated.items()
+            ],
+        },
+    )
+
+
+def accuracy_sweep_from_dict(payload: Dict[str, Any]) -> AccuracySweepResult:
+    _, data = parse_versioned_payload(payload, ACCURACY_KIND, max_version=ACCURACY_VERSION)
+    return AccuracySweepResult(
+        psi=sweep_result_from_dict(data["psi"]),
+        upsilon=sweep_result_from_dict(data["upsilon"]),
+        systems_evaluated={float(u): int(n) for u, n in data["systems_evaluated"]},
+    )
+
+
+def accuracy_sweep_to_json(result: AccuracySweepResult, *, indent: int = 2) -> str:
+    return json.dumps(accuracy_sweep_to_dict(result), indent=indent)
+
+
+def accuracy_sweep_from_json(text: str) -> AccuracySweepResult:
+    return accuracy_sweep_from_dict(json.loads(text))
+
+
+def table1_to_dict(rows: Any, ratios: Dict[str, float]) -> Dict[str, Any]:
+    """Versioned payload for the regenerated Table I (rows + headline ratios)."""
+    return versioned_payload(TABLE1_KIND, TABLE1_VERSION, {"rows": rows, "ratios": ratios})
+
+
+def table1_from_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    _, data = parse_versioned_payload(payload, TABLE1_KIND, max_version=TABLE1_VERSION)
+    return data
+
+
+# -- content-keyed configuration fingerprint -----------------------------------
+
+
+def cell_config_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """The configuration subset that determines individual cell values."""
+    return {
+        "seed": config.seed,
+        "generator": asdict(config.generator),
+        "ga": asdict(config.ga),
+    }
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Stable content key for ``config``'s cell cache (hex digest)."""
+    return content_hash(
+        {
+            "kind": CELL_CACHE_KIND,
+            "version": CELL_CACHE_VERSION,
+            "config": cell_config_dict(config),
+        }
+    )
+
+
+# -- the on-disk store ---------------------------------------------------------
+
+
+class ArtifactStore:
+    """Directory-backed store for one configuration's cells and sweep results.
+
+    The store is safe to reopen after a crash or Ctrl-C: cells are appended to
+    a journal (``cells.jsonl``) and flushed per line, and a truncated trailing
+    line (a write cut short by the interruption) is ignored on load.  Completed
+    sweep artifacts are written atomically via a rename.
+    """
+
+    CELLS_FILENAME = "cells.jsonl"
+    CONFIG_FILENAME = "config.json"
+
+    def __init__(self, root: Union[str, Path], config: ExperimentConfig):
+        self.root = Path(root)
+        self.fingerprint = config_fingerprint(config)
+        self.directory = self.root / self.fingerprint
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._cells: Dict[CellKey, Dict[str, Any]] = {}
+        self._cells_path = self.directory / self.CELLS_FILENAME
+        self._journal: Optional[io.TextIOWrapper] = None
+        self._write_config(config)
+        self._load_cells()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cells -------------------------------------------------------------------
+
+    def get_cell(self, key: CellKey) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or ``None`` on a cache miss."""
+        return self._cells.get(key)
+
+    def put_cell(self, key: CellKey, record: Dict[str, Any]) -> None:
+        """Cache ``record`` under ``key`` and append it to the journal."""
+        if key in self._cells:
+            return
+        self._cells[key] = record
+        utilisation, system_index, method = key
+        line = canonical_json(
+            {"u": utilisation, "i": system_index, "m": method, "r": record}
+        )
+        if self._journal is None:
+            self._journal = open(self._cells_path, "a", encoding="utf-8")
+        self._journal.write(line + "\n")
+        self._journal.flush()
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def _load_cells(self) -> None:
+        if not self._cells_path.exists():
+            return
+        with open(self._cells_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = (float(entry["u"]), int(entry["i"]), str(entry["m"]))
+                    record = entry["r"]
+                except (ValueError, KeyError, TypeError):
+                    # A truncated/corrupt line: almost certainly the final write
+                    # of an interrupted run.  The cell will simply be recomputed.
+                    continue
+                self._cells[key] = record
+
+    # -- whole-sweep artifacts ---------------------------------------------------
+
+    def save_result(self, name: str, payload: Dict[str, Any]) -> Path:
+        """Atomically write ``payload`` to ``<store>/<name>.json``."""
+        path = self.directory / f"{name}.json"
+        tmp_path = path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+        return path
+
+    def load_result(self, name: str) -> Optional[Dict[str, Any]]:
+        path = self.directory / f"{name}.json"
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _write_config(self, config: ExperimentConfig) -> None:
+        """Record the full configuration next to the cache for humans/tooling."""
+        path = self.directory / self.CONFIG_FILENAME
+        if path.exists():
+            return
+        payload = versioned_payload(
+            CELL_CACHE_KIND,
+            CELL_CACHE_VERSION,
+            {
+                "fingerprint": self.fingerprint,
+                "cell_config": cell_config_dict(config),
+                "full_config": asdict(config),
+            },
+        )
+        tmp_path = path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, path)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.scheduling.ga import GAConfig
 from repro.taskgen import GeneratorConfig
@@ -42,6 +42,35 @@ class ExperimentConfig:
     ga: GAConfig = field(default_factory=lambda: GAConfig(population_size=40, generations=25))
     #: Whether to evaluate the GA at all (it dominates the run time).
     include_ga: bool = True
+    #: Worker processes used by the experiment engine; ``1`` runs in-process.
+    n_workers: int = 1
+    #: Directory for persistent sweep artifacts and the resumable cell cache;
+    #: ``None`` disables persistence entirely.
+    artifact_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_systems, int) or self.n_systems <= 0:
+            raise ValueError(f"n_systems must be a positive integer, got {self.n_systems!r}")
+        if not isinstance(self.n_workers, int) or self.n_workers <= 0:
+            raise ValueError(f"n_workers must be a positive integer, got {self.n_workers!r}")
+        # Materialise before validating: a single-pass iterable (e.g. a
+        # generator) would otherwise validate fine yet leave the field empty.
+        for field_name in ("schedulability_utilisations", "accuracy_utilisations"):
+            values = tuple(getattr(self, field_name))
+            object.__setattr__(self, field_name, values)
+            self._validate_utilisations(field_name, values)
+
+    @staticmethod
+    def _validate_utilisations(name: str, values: Iterable[float]) -> None:
+        if not values:
+            raise ValueError(f"{name} must contain at least one utilisation point")
+        for value in values:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} entries must be numbers, got {value!r}")
+            if not 0.0 < float(value) <= 1.0:
+                raise ValueError(
+                    f"{name} entries must lie in (0, 1], got {value!r}"
+                )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

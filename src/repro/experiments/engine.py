@@ -1,0 +1,516 @@
+"""Parallel, cache-backed evaluation engine behind the figure sweeps.
+
+The engine decomposes every sweep into independent **evaluation cells** — one
+:class:`EvalJob` per ``(utilisation, system index, method)`` — and executes
+them through a worker pool (:class:`concurrent.futures.ProcessPoolExecutor`;
+``n_workers=1`` runs serially in-process).  Each cell regenerates its system
+from the per-``(utilisation, system)`` deterministic seed, so a cell's value
+depends only on the configuration and the cell coordinates: results are
+bit-identical at any worker count, and cells can be cached on disk and reused
+across runs (see :mod:`repro.experiments.artifacts`).
+
+Scheduling methods are resolved through the scheduler registry
+(:mod:`repro.scheduling.registry`); registering a new method makes it
+available to every sweep without touching this module.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import FPSOnlineTest
+from repro.core.metrics import aggregate_psi, aggregate_upsilon
+from repro.core.serialization import PayloadVersionError, content_hash
+from repro.core.task import TaskSet
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    accuracy_sweep_from_dict,
+    accuracy_sweep_to_dict,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import AccuracySweepResult, SweepResult
+from repro.experiments.stats import mean
+from repro.scheduling import SystemScheduleResult, create_scheduler, register_scheduler
+from repro.taskgen import SystemGenerator
+
+#: Canonical method ordering used in result tables.
+SCHEDULABILITY_METHODS = ("fps-offline", "fps-online", "gpiocp", "static", "ga")
+ACCURACY_METHODS = ("fps", "gpiocp", "static", "ga")
+
+#: Method aliases folded together for cache keys ("fps" is "fps-offline").
+_CANONICAL_METHOD = {"fps": "fps-offline"}
+
+#: Offset decorrelating the GA's derived RNG stream from the generator's.
+_GA_SEED_OFFSET = 1_000_003
+
+
+class FPSOnlineSchedulabilityMethod:
+    """Adapter exposing the FPS-online analysis through the scheduler API.
+
+    The analytical test decides schedulability without producing a schedule,
+    so the adapter returns an empty per-device map and flags itself with
+    ``produces_schedule = False`` (the engine then records Psi/Upsilon as 0).
+    """
+
+    name = "fps-online"
+    produces_schedule = False
+
+    def schedule_taskset(self, task_set: TaskSet) -> SystemScheduleResult:
+        schedulable = bool(FPSOnlineTest().is_schedulable(task_set))
+        return SystemScheduleResult(schedulable=schedulable, per_device={})
+
+
+register_scheduler("fps-online", FPSOnlineSchedulabilityMethod)
+
+
+# -- evaluation cells ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One picklable unit of sweep work: evaluate ``method`` on one system."""
+
+    utilisation: float
+    system_index: int
+    method: str
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one evaluation cell.
+
+    ``psi`` / ``upsilon`` are the metrics of the method's produced schedule;
+    for the GA, ``best_psi`` / ``best_upsilon`` carry the best-per-objective
+    Pareto points that Figures 6 and 7 report (for single-schedule methods
+    they simply equal ``psi`` / ``upsilon``).
+    """
+
+    schedulable: bool
+    psi: float
+    upsilon: float
+    best_psi: float
+    best_upsilon: float
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "s": bool(self.schedulable),
+            "psi": self.psi,
+            "ups": self.upsilon,
+            "bpsi": self.best_psi,
+            "bups": self.best_upsilon,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "CellResult":
+        return cls(
+            schedulable=bool(record["s"]),
+            psi=float(record["psi"]),
+            upsilon=float(record["ups"]),
+            best_psi=float(record["bpsi"]),
+            best_upsilon=float(record["bups"]),
+        )
+
+
+def cell_seed(config: ExperimentConfig, utilisation: float, system_index: int) -> int:
+    """The deterministic RNG seed of one ``(utilisation, system)`` pair."""
+    return config.seed + int(round(utilisation * 100)) * 10_000 + system_index
+
+
+def generate_system(
+    config: ExperimentConfig, utilisation: float, system_index: int
+) -> TaskSet:
+    """Regenerate the synthetic system of one cell (pure in its arguments)."""
+    seed = cell_seed(config, utilisation, system_index)
+    return SystemGenerator(config.generator, rng=seed).generate(utilisation)
+
+
+def ga_best_objectives(result: SystemScheduleResult) -> Tuple[float, float]:
+    """Aggregate the GA's best-Psi and best-Upsilon Pareto points across devices.
+
+    Each per-device search yields its own Pareto front; the system-level
+    figures use the best-Psi (respectively best-Upsilon) schedule of every
+    partition, aggregated job-weighted, mirroring how the paper reports "the
+    best result obtained for each objective".
+    """
+    best_psi_schedules = []
+    best_upsilon_schedules = []
+    for device_result in result.per_device.values():
+        info = device_result.info
+        psi_schedule = info.get("best_psi_schedule") or device_result.schedule
+        upsilon_schedule = info.get("best_upsilon_schedule") or device_result.schedule
+        if psi_schedule is not None:
+            best_psi_schedules.append(psi_schedule)
+        if upsilon_schedule is not None:
+            best_upsilon_schedules.append(upsilon_schedule)
+    best_psi = aggregate_psi(best_psi_schedules) if best_psi_schedules else 0.0
+    best_upsilon = aggregate_upsilon(best_upsilon_schedules) if best_upsilon_schedules else 0.0
+    return best_psi, best_upsilon
+
+
+def evaluate_cell(config: ExperimentConfig, job: EvalJob) -> CellResult:
+    """Evaluate one cell; a pure function of ``(config, job)``.
+
+    The GA's RNG stream is derived from the cell seed whenever the configured
+    ``GAConfig.seed`` is ``None``, so GA cells are as deterministic (and as
+    worker-count-independent) as every other method.
+    """
+    task_set = generate_system(config, job.utilisation, job.system_index)
+
+    if job.method == "ga":
+        ga_config = config.ga
+        if ga_config.seed is None:
+            derived = cell_seed(config, job.utilisation, job.system_index) + _GA_SEED_OFFSET
+            ga_config = replace(ga_config, seed=derived)
+        scheduler = create_scheduler("ga", ga_config)
+        result = scheduler.schedule_taskset(task_set)
+        best_psi, best_upsilon = ga_best_objectives(result)
+        return CellResult(
+            schedulable=bool(result.schedulable),
+            psi=result.psi,
+            upsilon=result.upsilon,
+            best_psi=best_psi,
+            best_upsilon=best_upsilon,
+        )
+
+    scheduler = create_scheduler(job.method)
+    result = scheduler.schedule_taskset(task_set)
+    if not getattr(scheduler, "produces_schedule", True):
+        return CellResult(
+            schedulable=bool(result.schedulable),
+            psi=0.0,
+            upsilon=0.0,
+            best_psi=0.0,
+            best_upsilon=0.0,
+        )
+    return CellResult(
+        schedulable=bool(result.schedulable),
+        psi=result.psi,
+        upsilon=result.upsilon,
+        best_psi=result.psi,
+        best_upsilon=result.upsilon,
+    )
+
+
+# -- worker-process plumbing ---------------------------------------------------
+
+_WORKER_CONFIG: Optional[ExperimentConfig] = None
+
+
+def _init_worker(config: ExperimentConfig) -> None:
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+
+
+def _worker_evaluate(job: EvalJob) -> CellResult:
+    assert _WORKER_CONFIG is not None, "worker used before initialisation"
+    return evaluate_cell(_WORKER_CONFIG, job)
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Executes sweeps as parallel evaluation cells with optional persistence.
+
+    Parameters default to what the configuration carries (``config.n_workers``
+    and ``config.artifact_dir``); both can be overridden per engine.  Use the
+    engine as a context manager (or call :meth:`close`) to release the worker
+    pool and the artifact journal.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        n_workers: Optional[int] = None,
+        artifact_dir: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
+        self.config = config or ExperimentConfig()
+        self.n_workers = n_workers if n_workers is not None else self.config.n_workers
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        directory = artifact_dir if artifact_dir is not None else self.config.artifact_dir
+        if store is not None:
+            self.store: Optional[ArtifactStore] = store
+            self._owns_store = False
+        elif directory is not None:
+            self.store = ArtifactStore(directory, self.config)
+            self._owns_store = True
+        else:
+            self.store = None
+            self._owns_store = False
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Cells actually evaluated (cache misses) over this engine's lifetime.
+        self.cells_computed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self.store is not None and self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cell execution ----------------------------------------------------------
+
+    def run_cells(self, jobs: Sequence[EvalJob]) -> Dict[EvalJob, CellResult]:
+        """Evaluate ``jobs``, serving cache hits from the artifact store.
+
+        Results are keyed by the input jobs; freshly computed cells are
+        journalled to the store as they complete, so an interrupted call
+        leaves every finished cell reusable.
+        """
+        results: Dict[EvalJob, CellResult] = {}
+        pending: List[EvalJob] = []
+        for job in jobs:
+            cached = self._cache_get(job)
+            if cached is not None:
+                results[job] = cached
+            else:
+                pending.append(job)
+
+        if not pending:
+            return results
+
+        if self.n_workers == 1:
+            for job in pending:
+                cell = evaluate_cell(self.config, job)
+                self._record(job, cell)
+                results[job] = cell
+        else:
+            chunksize = max(1, len(pending) // (self.n_workers * 4))
+            executor = self._get_executor()
+            for job, cell in zip(
+                pending, executor.map(_worker_evaluate, pending, chunksize=chunksize)
+            ):
+                self._record(job, cell)
+                results[job] = cell
+        return results
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self.config,),
+            )
+        return self._executor
+
+    def _cache_key(self, job: EvalJob):
+        method = _CANONICAL_METHOD.get(job.method, job.method)
+        return (job.utilisation, job.system_index, method)
+
+    def _cache_get(self, job: EvalJob) -> Optional[CellResult]:
+        if self.store is None:
+            return None
+        record = self.store.get_cell(self._cache_key(job))
+        if record is None:
+            return None
+        return CellResult.from_record(record)
+
+    def _record(self, job: EvalJob, cell: CellResult) -> None:
+        self.cells_computed += 1
+        if self.store is not None:
+            self.store.put_cell(self._cache_key(job), cell.to_record())
+
+    # -- the sweeps --------------------------------------------------------------
+
+    def generate_system(self, utilisation: float, system_index: int) -> TaskSet:
+        return generate_system(self.config, utilisation, system_index)
+
+    def schedulability_methods(self) -> List[str]:
+        return [m for m in SCHEDULABILITY_METHODS if self.config.include_ga or m != "ga"]
+
+    def accuracy_methods(self) -> List[str]:
+        return [m for m in ACCURACY_METHODS if self.config.include_ga or m != "ga"]
+
+    def schedulability_sweep(
+        self, utilisations: Optional[Sequence[float]] = None
+    ) -> SweepResult:
+        """Fraction of schedulable systems per method and utilisation (Figure 5)."""
+        config = self.config
+        utilisations = list(utilisations or config.schedulability_utilisations)
+        methods = self.schedulability_methods()
+
+        artifact = self._sweep_artifact_name("schedulability", utilisations, methods)
+        cached = self._load_sweep_artifact(artifact)
+        if cached is not None:
+            return cached
+
+        jobs = [
+            EvalJob(utilisation, system_index, method)
+            for utilisation in utilisations
+            for system_index in range(config.n_systems)
+            for method in methods
+        ]
+        cells = self.run_cells(jobs)
+
+        series: Dict[str, List[float]] = {method: [] for method in methods}
+        for utilisation in utilisations:
+            for method in methods:
+                count = sum(
+                    cells[EvalJob(utilisation, system_index, method)].schedulable
+                    for system_index in range(config.n_systems)
+                )
+                series[method].append(count / config.n_systems)
+
+        result = SweepResult(
+            name="schedulability", utilisations=utilisations, series=series
+        )
+        if self.store is not None:
+            self.store.save_result(artifact, sweep_result_to_dict(result))
+        return result
+
+    def accuracy_sweep(
+        self, utilisations: Optional[Sequence[float]] = None
+    ) -> AccuracySweepResult:
+        """Mean Psi and Upsilon per method over schedulable systems (Figures 6-7).
+
+        Following the paper, the sweep evaluates the offline methods on systems
+        that the proposed scheduling can handle (the static heuristic is used
+        as the admission filter); the GA contributes the best-Psi point of its
+        Pareto front to Figure 6 and the best-Upsilon point to Figure 7.
+        """
+        config = self.config
+        utilisations = list(utilisations or config.accuracy_utilisations)
+        methods = self.accuracy_methods()
+
+        artifact = self._sweep_artifact_name("accuracy", utilisations, methods)
+        if self.store is not None:
+            payload = self.store.load_result(artifact)
+            if payload is not None:
+                try:
+                    return accuracy_sweep_from_dict(payload)
+                except PayloadVersionError:
+                    raise  # newer artifact: never recompute-and-overwrite it
+                except (ValueError, KeyError, TypeError):
+                    pass  # corrupt/legacy artifact: recompute
+
+        psi_series: Dict[str, List[float]] = {method: [] for method in methods}
+        upsilon_series: Dict[str, List[float]] = {method: [] for method in methods}
+        systems_evaluated: Dict[float, int] = {}
+
+        other_methods = [method for method in methods if method != "static"]
+        for utilisation in utilisations:
+            admitted, static_cells = self._admit_systems(utilisation)
+            jobs = [
+                EvalJob(utilisation, system_index, method)
+                for system_index in admitted
+                for method in other_methods
+            ]
+            cells = self.run_cells(jobs)
+
+            per_method_psi: Dict[str, List[float]] = {method: [] for method in methods}
+            per_method_upsilon: Dict[str, List[float]] = {method: [] for method in methods}
+            for system_index in admitted:
+                static_cell = static_cells[system_index]
+                per_method_psi["static"].append(static_cell.psi)
+                per_method_upsilon["static"].append(static_cell.upsilon)
+                for method in other_methods:
+                    cell = cells[EvalJob(utilisation, system_index, method)]
+                    if method == "ga":
+                        per_method_psi["ga"].append(cell.best_psi)
+                        per_method_upsilon["ga"].append(cell.best_upsilon)
+                    else:
+                        per_method_psi[method].append(cell.psi)
+                        per_method_upsilon[method].append(cell.upsilon)
+
+            systems_evaluated[utilisation] = len(admitted)
+            for method in methods:
+                psi_series[method].append(mean(per_method_psi[method]))
+                upsilon_series[method].append(mean(per_method_upsilon[method]))
+
+        result = AccuracySweepResult(
+            psi=SweepResult(name="psi", utilisations=utilisations, series=psi_series),
+            upsilon=SweepResult(
+                name="upsilon", utilisations=utilisations, series=upsilon_series
+            ),
+            systems_evaluated=systems_evaluated,
+        )
+        if self.store is not None:
+            self.store.save_result(artifact, accuracy_sweep_to_dict(result))
+        return result
+
+    def _admit_systems(
+        self, utilisation: float
+    ) -> Tuple[List[int], Dict[int, CellResult]]:
+        """The first ``n_systems`` static-schedulable system indices at ``utilisation``.
+
+        Mirrors the historical sequential admission loop exactly (first-n
+        schedulable indices within ``10 * n_systems`` attempts) while batching
+        the static evaluations through the worker pool.  Emits a warning when
+        the attempt budget runs out before enough systems are found.
+        """
+        config = self.config
+        n_systems = config.n_systems
+        max_attempts = n_systems * 10
+        batch_size = max(n_systems, 2 * self.n_workers)
+
+        admitted: List[int] = []
+        static_cells: Dict[int, CellResult] = {}
+        next_index = 0
+        while len(admitted) < n_systems and next_index < max_attempts:
+            upper = min(next_index + batch_size, max_attempts)
+            jobs = [
+                EvalJob(utilisation, system_index, "static")
+                for system_index in range(next_index, upper)
+            ]
+            cells = self.run_cells(jobs)
+            for job in jobs:
+                cell = cells[job]
+                static_cells[job.system_index] = cell
+                if cell.schedulable and len(admitted) < n_systems:
+                    admitted.append(job.system_index)
+            next_index = upper
+
+        if len(admitted) < n_systems:
+            warnings.warn(
+                f"accuracy sweep at U={utilisation}: only {len(admitted)} of the "
+                f"requested {n_systems} schedulable systems were found within "
+                f"{max_attempts} attempts; reported means cover the smaller sample "
+                f"(see AccuracySweepResult.systems_evaluated)",
+                UserWarning,
+                stacklevel=3,
+            )
+        return admitted, static_cells
+
+    # -- artifact helpers --------------------------------------------------------
+
+    def _sweep_artifact_name(
+        self, prefix: str, utilisations: Sequence[float], methods: Sequence[str]
+    ) -> str:
+        signature = content_hash(
+            {
+                "utilisations": list(utilisations),
+                "methods": list(methods),
+                "n_systems": self.config.n_systems,
+            },
+            length=10,
+        )
+        return f"{prefix}-{signature}"
+
+    def _load_sweep_artifact(self, name: str) -> Optional[SweepResult]:
+        if self.store is None:
+            return None
+        payload = self.store.load_result(name)
+        if payload is None:
+            return None
+        try:
+            return sweep_result_from_dict(payload)
+        except PayloadVersionError:
+            raise  # newer artifact: never recompute-and-overwrite it
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt/legacy artifact: recompute

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.results import SweepResult
 
 #: Qualitative expectations from the paper, used by the benchmark harness and
 #: EXPERIMENTS.md: FPS-offline dominates, the GA is at least as good as the
@@ -24,9 +25,13 @@ EXPECTED_ORDERING = ("fps-offline", "ga", "static", "fps-online", "gpiocp")
 def run_fig5(
     config: Optional[ExperimentConfig] = None, *, verbose: bool = False
 ) -> SweepResult:
-    """Regenerate the Figure 5 schedulability sweep; returns the result series."""
-    runner = ExperimentRunner(config)
-    result = runner.schedulability_sweep()
+    """Regenerate the Figure 5 schedulability sweep; returns the result series.
+
+    Worker count and artifact persistence follow the configuration
+    (``config.n_workers`` / ``config.artifact_dir``).
+    """
+    with ExperimentEngine(config) as engine:
+        result = engine.schedulability_sweep()
     if verbose:
         print("Figure 5 — fraction of schedulable systems")
         print(result.to_table())

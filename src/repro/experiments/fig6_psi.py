@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import AccuracySweepResult, ExperimentRunner, SweepResult
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.results import AccuracySweepResult, SweepResult
 
 
 def run_fig6(
@@ -26,7 +27,11 @@ def run_fig6(
     ``precomputed`` lets callers share one accuracy sweep between Figures 6
     and 7 (they use the same systems and schedules).
     """
-    sweep = precomputed if precomputed is not None else ExperimentRunner(config).accuracy_sweep()
+    if precomputed is not None:
+        sweep = precomputed
+    else:
+        with ExperimentEngine(config) as engine:
+            sweep = engine.accuracy_sweep()
     result = sweep.psi
     if verbose:
         print("Figure 6 — Psi (fraction of exactly timing-accurate jobs)")

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import AccuracySweepResult, ExperimentRunner, SweepResult
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.results import AccuracySweepResult, SweepResult
 
 
 def run_fig7(
@@ -22,7 +23,11 @@ def run_fig7(
     precomputed: Optional[AccuracySweepResult] = None,
 ) -> SweepResult:
     """Regenerate the Figure 7 Upsilon sweep (see :func:`run_fig6` for sharing)."""
-    sweep = precomputed if precomputed is not None else ExperimentRunner(config).accuracy_sweep()
+    if precomputed is not None:
+        sweep = precomputed
+    else:
+        with ExperimentEngine(config) as engine:
+            sweep = engine.accuracy_sweep()
     result = sweep.upsilon
     if verbose:
         print("Figure 7 — Upsilon (normalised total quality)")

@@ -1,8 +1,13 @@
 """The generic experiment runner behind Figures 5-7.
 
-The runner generates random systems per utilisation point (with per-point,
-per-system deterministic seeds), evaluates every scheduling method on each
-system and aggregates:
+The runner is a thin facade over :class:`repro.experiments.engine.ExperimentEngine`:
+sweeps are decomposed into per-``(utilisation, system, method)`` evaluation
+cells, executed serially or across a worker pool (``config.n_workers``) and —
+when ``config.artifact_dir`` is set — journalled to a resumable on-disk cache.
+Per-``(utilisation, system)`` deterministic seeding makes the aggregated
+series bit-identical at any worker count.
+
+The sweep semantics are unchanged from the historical in-process runner:
 
 * the fraction of schedulable systems per method (Figure 5);
 * the mean Psi and Upsilon per method over the systems that the proposed
@@ -12,60 +17,26 @@ system and aggregates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.analysis import FPSOnlineTest
-from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.task import TaskSet
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.stats import format_table, mean
-from repro.scheduling import (
-    FPSOfflineScheduler,
-    GAScheduler,
-    GPIOCPScheduler,
-    HeuristicScheduler,
-    SystemScheduleResult,
+from repro.experiments.engine import (
+    ACCURACY_METHODS,
+    SCHEDULABILITY_METHODS,
+    ExperimentEngine,
+    ga_best_objectives,
 )
-from repro.taskgen import SystemGenerator
+from repro.experiments.results import AccuracySweepResult, SweepResult
 
-#: Canonical method ordering used in result tables.
-SCHEDULABILITY_METHODS = ("fps-offline", "fps-online", "gpiocp", "static", "ga")
-ACCURACY_METHODS = ("fps", "gpiocp", "static", "ga")
-
-
-@dataclass
-class SweepResult:
-    """Per-utilisation values of one metric for several methods."""
-
-    name: str
-    utilisations: List[float]
-    series: Dict[str, List[float]]
-
-    def value(self, method: str, utilisation: float) -> float:
-        index = self.utilisations.index(utilisation)
-        return self.series[method][index]
-
-    def rows(self) -> List[Dict[str, object]]:
-        rows: List[Dict[str, object]] = []
-        for index, utilisation in enumerate(self.utilisations):
-            row: Dict[str, object] = {"U": utilisation}
-            for method, values in self.series.items():
-                row[method] = values[index]
-            rows.append(row)
-        return rows
-
-    def to_table(self) -> str:
-        return format_table(self.rows())
-
-
-@dataclass
-class AccuracySweepResult:
-    """The paired Psi / Upsilon sweeps of Figures 6 and 7."""
-
-    psi: SweepResult
-    upsilon: SweepResult
-    systems_evaluated: Dict[float, int] = field(default_factory=dict)
+__all__ = [
+    "ExperimentRunner",
+    "SweepResult",
+    "AccuracySweepResult",
+    "SCHEDULABILITY_METHODS",
+    "ACCURACY_METHODS",
+    "ga_best_objectives",
+]
 
 
 class ExperimentRunner:
@@ -76,16 +47,10 @@ class ExperimentRunner:
 
     # -- system generation -------------------------------------------------------
 
-    def _generator(self, utilisation: float, system_index: int) -> SystemGenerator:
-        seed = (
-            self.config.seed
-            + int(round(utilisation * 100)) * 10_000
-            + system_index
-        )
-        return SystemGenerator(self.config.generator, rng=seed)
-
     def generate_system(self, utilisation: float, system_index: int) -> TaskSet:
-        return self._generator(utilisation, system_index).generate(utilisation)
+        from repro.experiments.engine import generate_system
+
+        return generate_system(self.config, utilisation, system_index)
 
     # -- figure 5 -----------------------------------------------------------------
 
@@ -93,111 +58,14 @@ class ExperimentRunner:
         self, utilisations: Optional[Sequence[float]] = None
     ) -> SweepResult:
         """Fraction of schedulable systems per method and utilisation (Figure 5)."""
-        config = self.config
-        utilisations = list(utilisations or config.schedulability_utilisations)
-        methods = [m for m in SCHEDULABILITY_METHODS if config.include_ga or m != "ga"]
-        series: Dict[str, List[float]] = {method: [] for method in methods}
-
-        fps_online = FPSOnlineTest()
-        for utilisation in utilisations:
-            counts = {method: 0 for method in methods}
-            for system_index in range(config.n_systems):
-                task_set = self.generate_system(utilisation, system_index)
-                counts["fps-offline"] += FPSOfflineScheduler().schedule_taskset(task_set).schedulable
-                counts["fps-online"] += fps_online.is_schedulable(task_set)
-                counts["gpiocp"] += GPIOCPScheduler().schedule_taskset(task_set).schedulable
-                static_result = HeuristicScheduler().schedule_taskset(task_set)
-                counts["static"] += static_result.schedulable
-                if config.include_ga:
-                    ga_result = GAScheduler(config.ga).schedule_taskset(task_set)
-                    counts["ga"] += ga_result.schedulable
-            for method in methods:
-                series[method].append(counts[method] / config.n_systems)
-
-        return SweepResult(name="schedulability", utilisations=utilisations, series=series)
+        with ExperimentEngine(self.config) as engine:
+            return engine.schedulability_sweep(utilisations)
 
     # -- figures 6 and 7 -----------------------------------------------------------
 
     def accuracy_sweep(
         self, utilisations: Optional[Sequence[float]] = None
     ) -> AccuracySweepResult:
-        """Mean Psi and Upsilon per method over schedulable systems (Figures 6-7).
-
-        Following the paper, the sweep evaluates the offline methods on systems
-        that the proposed scheduling can handle (the static heuristic is used
-        as the admission filter); the GA contributes the best-Psi point of its
-        Pareto front to Figure 6 and the best-Upsilon point to Figure 7.
-        """
-        config = self.config
-        utilisations = list(utilisations or config.accuracy_utilisations)
-        methods = [m for m in ACCURACY_METHODS if config.include_ga or m != "ga"]
-        psi_series: Dict[str, List[float]] = {method: [] for method in methods}
-        upsilon_series: Dict[str, List[float]] = {method: [] for method in methods}
-        systems_evaluated: Dict[float, int] = {}
-
-        for utilisation in utilisations:
-            per_method_psi: Dict[str, List[float]] = {method: [] for method in methods}
-            per_method_upsilon: Dict[str, List[float]] = {method: [] for method in methods}
-            evaluated = 0
-            system_index = 0
-            attempts = 0
-            max_attempts = config.n_systems * 10
-            while evaluated < config.n_systems and attempts < max_attempts:
-                attempts += 1
-                task_set = self.generate_system(utilisation, system_index)
-                system_index += 1
-                static_result = HeuristicScheduler().schedule_taskset(task_set)
-                if not static_result.schedulable:
-                    continue
-                evaluated += 1
-
-                fps_result = FPSOfflineScheduler().schedule_taskset(task_set)
-                gpiocp_result = GPIOCPScheduler().schedule_taskset(task_set)
-                per_method_psi["fps"].append(fps_result.psi)
-                per_method_upsilon["fps"].append(fps_result.upsilon)
-                per_method_psi["gpiocp"].append(gpiocp_result.psi)
-                per_method_upsilon["gpiocp"].append(gpiocp_result.upsilon)
-                per_method_psi["static"].append(static_result.psi)
-                per_method_upsilon["static"].append(static_result.upsilon)
-
-                if config.include_ga:
-                    ga_result = GAScheduler(config.ga).schedule_taskset(task_set)
-                    best_psi, best_upsilon = ga_best_objectives(ga_result)
-                    per_method_psi["ga"].append(best_psi)
-                    per_method_upsilon["ga"].append(best_upsilon)
-
-            systems_evaluated[utilisation] = evaluated
-            for method in methods:
-                psi_series[method].append(mean(per_method_psi[method]))
-                upsilon_series[method].append(mean(per_method_upsilon[method]))
-
-        return AccuracySweepResult(
-            psi=SweepResult(name="psi", utilisations=utilisations, series=psi_series),
-            upsilon=SweepResult(
-                name="upsilon", utilisations=utilisations, series=upsilon_series
-            ),
-            systems_evaluated=systems_evaluated,
-        )
-
-
-def ga_best_objectives(result: SystemScheduleResult) -> Tuple[float, float]:
-    """Aggregate the GA's best-Psi and best-Upsilon Pareto points across devices.
-
-    Each per-device search yields its own Pareto front; the system-level
-    figures use the best-Psi (respectively best-Upsilon) schedule of every
-    partition, aggregated job-weighted, mirroring how the paper reports "the
-    best result obtained for each objective".
-    """
-    best_psi_schedules = []
-    best_upsilon_schedules = []
-    for device_result in result.per_device.values():
-        info = device_result.info
-        psi_schedule = info.get("best_psi_schedule") or device_result.schedule
-        upsilon_schedule = info.get("best_upsilon_schedule") or device_result.schedule
-        if psi_schedule is not None:
-            best_psi_schedules.append(psi_schedule)
-        if upsilon_schedule is not None:
-            best_upsilon_schedules.append(upsilon_schedule)
-    best_psi = aggregate_psi(best_psi_schedules) if best_psi_schedules else 0.0
-    best_upsilon = aggregate_upsilon(best_upsilon_schedules) if best_upsilon_schedules else 0.0
-    return best_psi, best_upsilon
+        """Mean Psi and Upsilon per method over schedulable systems (Figures 6-7)."""
+        with ExperimentEngine(self.config) as engine:
+            return engine.accuracy_sweep(utilisations)

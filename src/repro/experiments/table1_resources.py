@@ -10,9 +10,12 @@ vs the MicroBlazes).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
+from repro.experiments.artifacts import table1_to_dict
 from repro.experiments.stats import format_table
 from repro.hardware.library import PrimitiveLibrary
 from repro.hardware.resources import (
@@ -87,16 +90,31 @@ class Table1Result:
             "power_vs_mb_full": proposed.power_mw / mb_full.power_mw,
         }
 
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the regenerated table as a versioned JSON artifact."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = table1_to_dict(self.rows(), self.ratios())
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
 
 def run_table1(
     designs: Optional[Dict[str, HardwareDesign]] = None,
     library: Optional[PrimitiveLibrary] = None,
     *,
     verbose: bool = False,
+    artifact_path: Optional[Union[str, Path]] = None,
 ) -> Table1Result:
-    """Regenerate Table I from the structural resource model."""
+    """Regenerate Table I from the structural resource model.
+
+    When ``artifact_path`` is given the regenerated rows and headline ratios
+    are additionally written there as a versioned JSON artifact.
+    """
     estimates = estimate_all(designs or reference_designs(), library)
     result = Table1Result(estimates=estimates, published=dict(PUBLISHED_TABLE1))
+    if artifact_path is not None:
+        result.save(artifact_path)
     if verbose:
         print("Table I — hardware overhead of the evaluated I/O controllers")
         print(result.to_table())

@@ -23,6 +23,14 @@ from repro.scheduling.dependency_graph import (
     build_dependency_graphs,
     decompose_graphs,
 )
+from repro.scheduling.registry import (
+    available_schedulers,
+    create_scheduler,
+    get_scheduler_factory,
+    register_scheduler,
+    scheduler_registered,
+    unregister_scheduler,
+)
 from repro.scheduling.fps import FPSOfflineScheduler
 from repro.scheduling.gpiocp import GPIOCPScheduler
 from repro.scheduling.heuristic import HeuristicScheduler
@@ -40,6 +48,12 @@ __all__ = [
     "HeuristicScheduler",
     "GAScheduler",
     "GAConfig",
+    "register_scheduler",
+    "unregister_scheduler",
+    "create_scheduler",
+    "get_scheduler_factory",
+    "scheduler_registered",
+    "available_schedulers",
     "LCCDAllocator",
     "FreeSlot",
     "free_slots",

@@ -16,8 +16,10 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.schedule import Schedule
 from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
+from repro.scheduling.registry import register_scheduler
 
 
+@register_scheduler("fps-offline", aliases=("fps",))
 class FPSOfflineScheduler(Scheduler):
     """Work-conserving offline non-preemptive fixed-priority job scheduling."""
 

@@ -21,6 +21,7 @@ from repro.scheduling.ga.encoding import GAProblem
 from repro.scheduling.ga.nsga2 import NSGA2, ParetoArchive
 from repro.scheduling.ga.reconfiguration import evaluate as evaluate_genes
 from repro.scheduling.heuristic import HeuristicScheduler
+from repro.scheduling.registry import register_scheduler
 
 #: Population size and iteration count used by the paper's evaluation.
 PAPER_POPULATION_SIZE = 300
@@ -58,6 +59,7 @@ class GAConfig:
         return cls(**params)
 
 
+@register_scheduler("ga")
 class GAScheduler(Scheduler):
     """Multi-objective GA-based I/O scheduling (Section III-B)."""
 

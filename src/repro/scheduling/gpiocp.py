@@ -16,8 +16,10 @@ from typing import List, Sequence
 from repro.core.schedule import Schedule
 from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
+from repro.scheduling.registry import register_scheduler
 
 
+@register_scheduler("gpiocp")
 class GPIOCPScheduler(Scheduler):
     """FIFO execution model of the GPIOCP co-processor."""
 

@@ -21,8 +21,10 @@ from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
 from repro.scheduling.dependency_graph import build_dependency_graphs, decompose_graphs
 from repro.scheduling.lccd import LCCDAllocator
+from repro.scheduling.registry import register_scheduler
 
 
+@register_scheduler("static", aliases=("heuristic",))
 class HeuristicScheduler(Scheduler):
     """Job-level static I/O scheduling for maximising Psi (Algorithm 1)."""
 

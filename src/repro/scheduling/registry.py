@@ -1,0 +1,108 @@
+"""Scheduler registry — pluggable lookup of scheduling methods by name.
+
+The experiment harness refers to scheduling methods by short string names
+("fps-offline", "gpiocp", "static", "ga", ...).  Historically the runner
+hard-coded the mapping from those names to scheduler classes; the registry
+inverts the dependency: every scheduler module registers its own factory with
+:func:`register_scheduler`, and the harness instantiates methods through
+:func:`create_scheduler` without importing (or even knowing about) the
+concrete classes.  New methods therefore plug into every sweep, benchmark and
+CLI entry point by registering themselves — no runner changes required.
+
+A *factory* is any callable returning a scheduler-like object (something with
+a ``schedule_taskset(task_set)`` method).  Factories may accept one optional
+positional ``config`` argument (e.g. :class:`~repro.scheduling.ga.GAConfig`
+for the GA); :func:`create_scheduler` only forwards ``config`` when the caller
+provides one, so config-free schedulers can ignore the concern entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+#: name -> factory.  Aliases map to the same factory object.
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+_MISSING = object()
+
+
+def register_scheduler(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    aliases: Sequence[str] = (),
+    overwrite: bool = False,
+):
+    """Register a scheduler factory under ``name`` (plus optional aliases).
+
+    Usable both as a class decorator::
+
+        @register_scheduler("static")
+        class HeuristicScheduler(Scheduler): ...
+
+    and as a direct call for ad-hoc factories::
+
+        register_scheduler("fps-online", FPSOnlineSchedulabilityMethod)
+
+    Duplicate names raise ``ValueError`` unless ``overwrite=True`` — silent
+    re-registration almost always indicates two methods fighting over a name.
+    """
+
+    def _register(target: Callable[..., Any]) -> Callable[..., Any]:
+        keys = (name, *aliases)
+        # Validate every key before touching the registry, so a conflicting
+        # alias cannot leave a half-registered entry behind.
+        if not overwrite:
+            for key in keys:
+                if key in _REGISTRY and _REGISTRY[key] is not target:
+                    raise ValueError(
+                        f"scheduler {key!r} is already registered "
+                        f"(to {_REGISTRY[key]!r}); pass overwrite=True to replace it"
+                    )
+        for key in keys:
+            _REGISTRY[key] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove ``name`` from the registry (aliases must be removed separately)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scheduler {name!r}")
+    del _REGISTRY[name]
+
+
+def scheduler_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered factory."""
+    return name in _REGISTRY
+
+
+def available_schedulers() -> Tuple[str, ...]:
+    """Sorted names (including aliases) of every registered scheduler."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scheduler_factory(name: str) -> Callable[..., Any]:
+    """The raw factory registered under ``name`` (for introspection/tests)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; registered: {', '.join(available_schedulers())}"
+        ) from None
+
+
+def create_scheduler(name: str, config: Any = _MISSING) -> Any:
+    """Instantiate the scheduler registered under ``name``.
+
+    ``config`` (when given) is forwarded as the factory's single positional
+    argument; omitted otherwise, so factories without configuration knobs need
+    not declare a parameter for it.
+    """
+    factory = get_scheduler_factory(name)
+    if config is _MISSING:
+        return factory()
+    return factory(config)

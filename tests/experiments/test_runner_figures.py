@@ -51,6 +51,17 @@ class TestFig5:
         u = smoke_config.schedulability_utilisations[0]
         assert schedulability.value("static", u) == schedulability.series["static"][0]
 
+    def test_value_lookup_tolerates_float_noise(self, schedulability, smoke_config):
+        u = smoke_config.schedulability_utilisations[0]
+        noisy = u + 1e-13  # e.g. a utilisation that went through JSON/arithmetic
+        assert schedulability.value("static", noisy) == schedulability.series["static"][0]
+
+    def test_value_lookup_raises_clearly_on_miss(self, schedulability):
+        with pytest.raises(KeyError, match="not a sweep point"):
+            schedulability.value("static", 0.55555)
+        with pytest.raises(KeyError, match="unknown method"):
+            schedulability.value("no-such-method", 0.3)
+
 
 class TestFig6And7:
     def test_methods_present(self, accuracy):

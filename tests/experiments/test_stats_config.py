@@ -56,3 +56,61 @@ class TestExperimentConfig:
     def test_with_overrides(self):
         config = ExperimentConfig().with_overrides(n_systems=3)
         assert config.n_systems == 3
+
+    def test_engine_fields_default_and_override(self):
+        config = ExperimentConfig()
+        assert config.n_workers == 1
+        assert config.artifact_dir is None
+        tuned = config.with_overrides(n_workers=4, artifact_dir="artifacts")
+        assert tuned.n_workers == 4
+        assert tuned.artifact_dir == "artifacts"
+
+
+class TestExperimentConfigValidation:
+    def test_rejects_non_positive_n_systems(self):
+        with pytest.raises(ValueError, match="n_systems"):
+            ExperimentConfig(n_systems=0)
+        with pytest.raises(ValueError, match="n_systems"):
+            ExperimentConfig(n_systems=-3)
+        with pytest.raises(ValueError, match="n_systems"):
+            ExperimentConfig(n_systems=2.5)
+
+    def test_rejects_non_positive_n_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ExperimentConfig(n_workers=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            ExperimentConfig(n_workers=-1)
+
+    def test_rejects_empty_sweep_tuples(self):
+        with pytest.raises(ValueError, match="schedulability_utilisations"):
+            ExperimentConfig(schedulability_utilisations=())
+        with pytest.raises(ValueError, match="accuracy_utilisations"):
+            ExperimentConfig(accuracy_utilisations=())
+
+    def test_rejects_utilisations_outside_unit_interval(self):
+        for bad in (0.0, -0.1, 1.2):
+            with pytest.raises(ValueError, match=r"\(0, 1\]"):
+                ExperimentConfig(schedulability_utilisations=(0.3, bad))
+            with pytest.raises(ValueError, match=r"\(0, 1\]"):
+                ExperimentConfig(accuracy_utilisations=(bad,))
+        # The boundary U = 1.0 is a legal (if brutal) load.
+        ExperimentConfig(schedulability_utilisations=(1.0,))
+
+    def test_rejects_non_numeric_utilisations(self):
+        with pytest.raises(ValueError, match="numbers"):
+            ExperimentConfig(accuracy_utilisations=("0.3",))
+
+    def test_validation_applies_to_overrides_too(self):
+        config = ExperimentConfig()
+        with pytest.raises(ValueError, match="n_systems"):
+            config.with_overrides(n_systems=0)
+
+    def test_single_pass_iterables_are_materialised(self):
+        config = ExperimentConfig(
+            schedulability_utilisations=(u for u in (0.2, 0.4)),
+            accuracy_utilisations=iter([0.3]),
+        )
+        assert config.schedulability_utilisations == (0.2, 0.4)
+        assert config.accuracy_utilisations == (0.3,)
+        # And still readable more than once.
+        assert list(config.schedulability_utilisations) == [0.2, 0.4]
