@@ -1,0 +1,74 @@
+"""Benchmarks of the scheduling service: batch throughput and cache hits.
+
+Two properties are demonstrated on a synthetic request batch:
+
+* **batch scheduling throughput** — a mixed batch of methods through
+  :class:`~repro.service.SchedulingService` costs what the underlying
+  schedulers cost (the facade adds only hashing and envelope building);
+* **near-free cache hits** — resubmitting the same batch against the
+  populated content-addressed cache recomputes nothing and completes orders
+  of magnitude faster.
+"""
+
+import time
+
+import pytest
+
+from repro.service import ScheduleRequest, SchedulerSpec, SchedulingService
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+#: Methods exercised per task set (the GA dominates, as in the sweeps).
+SPECS = ("fps-offline", "gpiocp", "static", "ga:population_size=16,generations=8")
+N_SYSTEMS = 6
+
+
+@pytest.fixture(scope="module")
+def request_batch():
+    return [
+        ScheduleRequest(
+            task_set=SystemGenerator(GeneratorConfig(), rng=index).generate(0.5),
+            spec=SchedulerSpec.parse(spec),
+            request_id=f"{index}/{spec}",
+        )
+        for index in range(N_SYSTEMS)
+        for spec in SPECS
+    ]
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_batch_throughput(benchmark, request_batch):
+    def run_batch():
+        with SchedulingService(cache=None) as service:
+            return service.submit_batch(request_batch)
+
+    responses = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    assert len(responses) == len(request_batch)
+    assert all(response.cache == "disabled" for response in responses)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_cache_hits_are_near_free(benchmark, request_batch, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("service-cache"))
+
+    start = time.perf_counter()
+    with SchedulingService(cache_dir=cache_dir) as service:
+        cold = service.submit_batch(request_batch)
+        assert service.computed == len(request_batch)
+    cold_seconds = time.perf_counter() - start
+
+    def warm_run():
+        with SchedulingService(cache_dir=cache_dir) as service:
+            responses = service.submit_batch(request_batch)
+            assert service.computed == 0
+            return responses
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+
+    assert all(response.cache == "hit" for response in warm)
+    assert [r.result_dict() for r in warm] == [r.result_dict() for r in cold]
+    # "Near-free": the warm batch must beat the cold one by a wide margin.
+    assert warm_seconds < cold_seconds / 5, (
+        f"warm batch took {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s"
+    )

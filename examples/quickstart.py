@@ -2,13 +2,16 @@
 
 Run with ``python examples/quickstart.py``.
 
-The example builds a small task set by hand (times in milliseconds), schedules
-it with the paper's two methods plus the FPS and GPIOCP baselines — looked up
-by name through the scheduler registry — and prints the per-method
-timing-accuracy metrics and the explicit schedule produced by the heuristic.
+The example builds a small task set by hand (times in milliseconds) and
+schedules it with the paper's two methods plus the FPS and GPIOCP baselines —
+all through the scheduling service: each method is a spec string
+(``"name:key=value,..."``), each evaluation a typed ``ScheduleRequest``, and
+the batch comes back as serialisable ``ScheduleResponse`` objects carrying
+the per-method timing-accuracy metrics and the explicit schedules.
 """
 
-from repro import GAConfig, TaskSet, create_scheduler, make_task_ms
+from repro import TaskSet, make_task_ms
+from repro.service import ScheduleRequest, SchedulerSpec, SchedulingService
 
 
 def build_taskset() -> TaskSet:
@@ -26,35 +29,43 @@ def build_taskset() -> TaskSet:
     return TaskSet(tasks).assign_dmpo_priorities()
 
 
+#: The methods to compare, as scheduler spec strings.  Only the GA takes
+#: options (its search budget and RNG seed).
+METHOD_SPECS = (
+    "fps-offline",
+    "gpiocp",
+    "static",
+    "ga:population_size=40,generations=30,seed=1",
+)
+
+
 def main() -> None:
     task_set = build_taskset()
     print(f"Task set: {len(task_set)} tasks, utilisation {task_set.utilisation:.3f}, "
           f"hyper-period {task_set.hyperperiod() / 1000:.0f} ms")
     print()
 
-    # Methods are resolved by name through the scheduler registry; only the GA
-    # takes a configuration object (its search budget and RNG seed).
-    schedulers = [
-        create_scheduler("fps-offline"),
-        create_scheduler("gpiocp"),
-        create_scheduler("static"),
-        create_scheduler("ga", GAConfig(population_size=40, generations=30, seed=1)),
+    requests = [
+        ScheduleRequest(task_set=task_set, spec=SchedulerSpec.parse(spec), request_id=spec)
+        for spec in METHOD_SPECS
     ]
+    with SchedulingService() as service:
+        responses = service.submit_batch(requests)
 
     print(f"{'method':<14} {'schedulable':<12} {'Psi':>6} {'Upsilon':>8}")
-    results = {}
-    for scheduler in schedulers:
-        result = scheduler.schedule_taskset(task_set)
-        results[scheduler.name] = result
-        print(f"{scheduler.name:<14} {str(result.schedulable):<12} "
-              f"{result.psi:>6.3f} {result.upsilon:>8.3f}")
+    by_method = {}
+    for request, response in zip(requests, responses):
+        name = request.spec.name
+        by_method[name] = response
+        print(f"{name:<14} {str(response.schedulable):<12} "
+              f"{response.psi:>6.3f} {response.upsilon:>8.3f}")
 
     print()
     print("Explicit schedule produced by the heuristic (static) method:")
-    static = results["static"]
-    for device, device_result in static.per_device.items():
+    static = by_method["static"]
+    for device, schedule in sorted(static.device_schedules(task_set).items()):
         print(f"  device {device}:")
-        for entry in device_result.schedule.sorted_entries():
+        for entry in schedule.sorted_entries():
             marker = "exact" if entry.is_exact else f"{entry.lateness / 1000:+.1f} ms"
             print(f"    {entry.job.name:<20} start {entry.start / 1000:8.1f} ms "
                   f"(ideal {entry.job.ideal_start / 1000:8.1f} ms, {marker})")

@@ -13,6 +13,9 @@ The package provides:
 * ``repro.sim`` / ``repro.noc`` / ``repro.hardware`` — the discrete-event
   substrate, NoC model and I/O-controller hardware model that execute the
   offline schedules at run time, plus the hardware resource estimator;
+* ``repro.service`` — the batch scheduling-service API: typed
+  request/response envelopes, ``"name:key=value"`` scheduler specs, a worker
+  pool with a content-addressed schedule cache, and a JSONL batch CLI;
 * ``repro.experiments`` — the harness regenerating every figure and table of
   the paper's evaluation.
 """
@@ -41,6 +44,12 @@ from repro.scheduling import (
     create_scheduler,
     register_scheduler,
 )
+from repro.service import (
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulerSpec,
+    SchedulingService,
+)
 from repro.taskgen import GeneratorConfig, SystemGenerator
 
 __version__ = "1.0.0"
@@ -66,6 +75,10 @@ __all__ = [
     "register_scheduler",
     "create_scheduler",
     "available_schedulers",
+    "SchedulerSpec",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulingService",
     "SystemGenerator",
     "GeneratorConfig",
     "__version__",

@@ -22,6 +22,8 @@ from repro.experiments.engine import ExperimentEngine
 from repro.experiments.fig6_psi import run_fig6
 from repro.experiments.fig7_upsilon import run_fig7
 from repro.experiments.table1_resources import run_table1
+from repro.scheduling import available_schedulers, scheduler_registered
+from repro.service import SchedulerSpec
 
 FIGURES = ("fig5", "fig6", "fig7", "table1", "all")
 
@@ -68,7 +70,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the GA method (it dominates the run time)",
     )
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="run only these schedulers in the sweeps; each entry is a "
+        "registered name or a spec string such as 'ga:generations=10' "
+        "(default: every method of the figure)",
+    )
     return parser
+
+
+def validate_methods(
+    parser: argparse.ArgumentParser, methods: Optional[Sequence[str]]
+) -> Optional[Sequence[str]]:
+    """Fail fast (with the parser's usage message) on bad ``--methods`` entries."""
+    if methods is None:
+        return None
+    for method in methods:
+        try:
+            spec = SchedulerSpec.parse(method)
+        except ValueError as error:
+            parser.error(f"--methods: {error}")
+        if not scheduler_registered(spec.name):
+            parser.error(
+                f"--methods: unknown scheduler {spec.name!r}; "
+                f"registered: {', '.join(available_schedulers())}"
+            )
+    return list(methods)
 
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -86,10 +116,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = make_config(args)
     except ValueError as error:
         parser.error(str(error))
+    methods = validate_methods(parser, args.methods)
+    if methods is not None and args.figure == "table1":
+        parser.error("--methods does not apply to table1 (it has no method sweep)")
 
     wants = (args.figure,) if args.figure != "all" else ("fig5", "fig6", "fig7", "table1")
 
     if "table1" in wants:
+        if methods is not None:
+            print(
+                "note: --methods does not apply to table1; "
+                "regenerating the full table",
+                file=sys.stderr,
+            )
         artifact_path = (
             Path(args.artifact_dir) / "table1.json" if args.artifact_dir else None
         )
@@ -100,12 +139,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if needs_engine:
         with ExperimentEngine(config) as engine:
             if "fig5" in wants:
-                result = engine.schedulability_sweep()
+                result = engine.schedulability_sweep(methods=methods)
                 print("Figure 5 — fraction of schedulable systems")
                 print(result.to_table())
                 print()
             if "fig6" in wants or "fig7" in wants:
-                accuracy = engine.accuracy_sweep()
+                accuracy = engine.accuracy_sweep(methods=methods)
                 if "fig6" in wants:
                     run_fig6(config, verbose=True, precomputed=accuracy)
                     print()

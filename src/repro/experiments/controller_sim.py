@@ -28,7 +28,7 @@ from repro.hardware.controller import IOController
 from repro.noc.network import NoCNetwork
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
-from repro.scheduling import HeuristicScheduler
+from repro.service import ScheduleRequest, SchedulerSpec, SchedulingService
 from repro.sim.engine import Simulator
 from repro.taskgen import SystemGenerator
 
@@ -128,20 +128,25 @@ def run_controller_sim(
     config = config or ExperimentConfig()
     generator = SystemGenerator(config.generator, rng=seed)
 
+    # The offline schedule is obtained through the scheduling service — the
+    # same facade the sweeps and CLIs use — and rebuilt from the response's
+    # serialised form, exercising the full host-to-controller exchange path.
+    spec = SchedulerSpec.parse("static")
     task_set = None
     offline = None
-    for attempt in range(50):
-        candidate = generator.generate(utilisation)
-        result = HeuristicScheduler().schedule_taskset(candidate)
-        if result.schedulable:
-            task_set, offline = candidate, result
-            break
+    with SchedulingService() as service:
+        for attempt in range(50):
+            candidate = generator.generate(utilisation)
+            response = service.submit(ScheduleRequest(task_set=candidate, spec=spec))
+            if response.schedulable:
+                task_set, offline = candidate, response
+                break
     if task_set is None or offline is None:
         raise RuntimeError(
             f"could not generate a schedulable system at utilisation {utilisation}"
         )
 
-    schedules = {device: r.schedule for device, r in offline.per_device.items()}
+    schedules = offline.device_schedules(task_set)
 
     controller = IOController()
     controller.preload_taskset(task_set)

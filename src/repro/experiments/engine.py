@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis import FPSOnlineTest
-from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.serialization import PayloadVersionError, content_hash
 from repro.core.task import TaskSet
 from repro.experiments.artifacts import (
@@ -35,37 +33,27 @@ from repro.experiments.artifacts import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import AccuracySweepResult, SweepResult
 from repro.experiments.stats import mean
-from repro.scheduling import SystemScheduleResult, create_scheduler, register_scheduler
+
+# Back-compat re-export: the adapter now lives with the other schedulers, so
+# ``create_scheduler("fps-online")`` works without importing the experiments
+# package at all.
+from repro.scheduling import FPSOnlineSchedulabilityMethod  # noqa: F401
+from repro.service import ScheduleRequest, SchedulerSpec, execute_request
+
+# Back-compat re-export: the best-per-objective aggregation moved into the
+# scheduling service alongside the rest of the response building.
+from repro.service import ga_best_objectives  # noqa: F401
 from repro.taskgen import SystemGenerator
 
 #: Canonical method ordering used in result tables.
 SCHEDULABILITY_METHODS = ("fps-offline", "fps-online", "gpiocp", "static", "ga")
 ACCURACY_METHODS = ("fps", "gpiocp", "static", "ga")
 
-#: Method aliases folded together for cache keys ("fps" is "fps-offline").
-_CANONICAL_METHOD = {"fps": "fps-offline"}
+#: Method-name aliases folded together for cache keys ("fps" is "fps-offline").
+_CANONICAL_METHOD = {"fps": "fps-offline", "heuristic": "static"}
 
 #: Offset decorrelating the GA's derived RNG stream from the generator's.
 _GA_SEED_OFFSET = 1_000_003
-
-
-class FPSOnlineSchedulabilityMethod:
-    """Adapter exposing the FPS-online analysis through the scheduler API.
-
-    The analytical test decides schedulability without producing a schedule,
-    so the adapter returns an empty per-device map and flags itself with
-    ``produces_schedule = False`` (the engine then records Psi/Upsilon as 0).
-    """
-
-    name = "fps-online"
-    produces_schedule = False
-
-    def schedule_taskset(self, task_set: TaskSet) -> SystemScheduleResult:
-        schedulable = bool(FPSOnlineTest().is_schedulable(task_set))
-        return SystemScheduleResult(schedulable=schedulable, per_device={})
-
-
-register_scheduler("fps-online", FPSOnlineSchedulabilityMethod)
 
 
 # -- evaluation cells ----------------------------------------------------------
@@ -73,7 +61,11 @@ register_scheduler("fps-online", FPSOnlineSchedulabilityMethod)
 
 @dataclass(frozen=True)
 class EvalJob:
-    """One picklable unit of sweep work: evaluate ``method`` on one system."""
+    """One picklable unit of sweep work: evaluate ``method`` on one system.
+
+    ``method`` is a registered scheduler name or a full spec string such as
+    ``"ga:generations=10"`` (see :class:`repro.service.SchedulerSpec`).
+    """
 
     utilisation: float
     system_index: int
@@ -129,70 +121,43 @@ def generate_system(
     return SystemGenerator(config.generator, rng=seed).generate(utilisation)
 
 
-def ga_best_objectives(result: SystemScheduleResult) -> Tuple[float, float]:
-    """Aggregate the GA's best-Psi and best-Upsilon Pareto points across devices.
+def cell_spec(config: ExperimentConfig, job: EvalJob) -> SchedulerSpec:
+    """The fully-pinned scheduler spec one cell executes.
 
-    Each per-device search yields its own Pareto front; the system-level
-    figures use the best-Psi (respectively best-Upsilon) schedule of every
-    partition, aggregated job-weighted, mirroring how the paper reports "the
-    best result obtained for each objective".
+    ``job.method`` is parsed as a spec string; for the GA, the configured
+    ``GAConfig`` supplies defaults under any options the spec pins, and the
+    RNG seed is derived from the cell seed whenever neither pins one — so GA
+    cells are as deterministic (and as worker-count-independent) as every
+    other method.
     """
-    best_psi_schedules = []
-    best_upsilon_schedules = []
-    for device_result in result.per_device.values():
-        info = device_result.info
-        psi_schedule = info.get("best_psi_schedule") or device_result.schedule
-        upsilon_schedule = info.get("best_upsilon_schedule") or device_result.schedule
-        if psi_schedule is not None:
-            best_psi_schedules.append(psi_schedule)
-        if upsilon_schedule is not None:
-            best_upsilon_schedules.append(upsilon_schedule)
-    best_psi = aggregate_psi(best_psi_schedules) if best_psi_schedules else 0.0
-    best_upsilon = aggregate_upsilon(best_upsilon_schedules) if best_upsilon_schedules else 0.0
-    return best_psi, best_upsilon
+    spec = SchedulerSpec.parse(job.method)
+    if spec.name != "ga":
+        return spec
+    options = asdict(config.ga)
+    options.update(spec.options_dict())
+    if options.get("seed") is None:
+        options["seed"] = (
+            cell_seed(config, job.utilisation, job.system_index) + _GA_SEED_OFFSET
+        )
+    return SchedulerSpec("ga", options)
 
 
 def evaluate_cell(config: ExperimentConfig, job: EvalJob) -> CellResult:
     """Evaluate one cell; a pure function of ``(config, job)``.
 
-    The GA's RNG stream is derived from the cell seed whenever the configured
-    ``GAConfig.seed`` is ``None``, so GA cells are as deterministic (and as
-    worker-count-independent) as every other method.
+    Cells execute through the scheduling service's pure request path
+    (:func:`repro.service.execute_request`), so a sweep cell and a direct
+    service request with the same content are the same computation.
     """
     task_set = generate_system(config, job.utilisation, job.system_index)
-
-    if job.method == "ga":
-        ga_config = config.ga
-        if ga_config.seed is None:
-            derived = cell_seed(config, job.utilisation, job.system_index) + _GA_SEED_OFFSET
-            ga_config = replace(ga_config, seed=derived)
-        scheduler = create_scheduler("ga", ga_config)
-        result = scheduler.schedule_taskset(task_set)
-        best_psi, best_upsilon = ga_best_objectives(result)
-        return CellResult(
-            schedulable=bool(result.schedulable),
-            psi=result.psi,
-            upsilon=result.upsilon,
-            best_psi=best_psi,
-            best_upsilon=best_upsilon,
-        )
-
-    scheduler = create_scheduler(job.method)
-    result = scheduler.schedule_taskset(task_set)
-    if not getattr(scheduler, "produces_schedule", True):
-        return CellResult(
-            schedulable=bool(result.schedulable),
-            psi=0.0,
-            upsilon=0.0,
-            best_psi=0.0,
-            best_upsilon=0.0,
-        )
+    request = ScheduleRequest(task_set=task_set, spec=cell_spec(config, job))
+    response = execute_request(request)
     return CellResult(
-        schedulable=bool(result.schedulable),
-        psi=result.psi,
-        upsilon=result.upsilon,
-        best_psi=result.psi,
-        best_upsilon=result.upsilon,
+        schedulable=response.schedulable,
+        psi=response.psi,
+        upsilon=response.upsilon,
+        best_psi=response.best_psi,
+        best_upsilon=response.best_upsilon,
     )
 
 
@@ -310,7 +275,12 @@ class ExperimentEngine:
         return self._executor
 
     def _cache_key(self, job: EvalJob):
-        method = _CANONICAL_METHOD.get(job.method, job.method)
+        # Canonicalise the method so aliases and differently-ordered spec
+        # strings ("ga:b=1,a=2" vs "ga:a=2,b=1") share one cache entry.  Bare
+        # canonical names map to themselves, keeping old journals readable.
+        spec = SchedulerSpec.parse(job.method)
+        name = _CANONICAL_METHOD.get(spec.name, spec.name)
+        method = str(SchedulerSpec(name, spec.options))
         return (job.utilisation, job.system_index, method)
 
     def _cache_get(self, job: EvalJob) -> Optional[CellResult]:
@@ -338,12 +308,21 @@ class ExperimentEngine:
         return [m for m in ACCURACY_METHODS if self.config.include_ga or m != "ga"]
 
     def schedulability_sweep(
-        self, utilisations: Optional[Sequence[float]] = None
+        self,
+        utilisations: Optional[Sequence[float]] = None,
+        *,
+        methods: Optional[Sequence[str]] = None,
     ) -> SweepResult:
-        """Fraction of schedulable systems per method and utilisation (Figure 5)."""
+        """Fraction of schedulable systems per method and utilisation (Figure 5).
+
+        ``methods`` restricts (or re-parameterises) the evaluated schedulers;
+        entries are registered names or spec strings such as
+        ``"ga:generations=10"``.  The default is every method of the paper's
+        Figure 5, honouring ``config.include_ga``.
+        """
         config = self.config
         utilisations = list(utilisations or config.schedulability_utilisations)
-        methods = self.schedulability_methods()
+        methods = list(methods) if methods is not None else self.schedulability_methods()
 
         artifact = self._sweep_artifact_name("schedulability", utilisations, methods)
         cached = self._load_sweep_artifact(artifact)
@@ -375,18 +354,22 @@ class ExperimentEngine:
         return result
 
     def accuracy_sweep(
-        self, utilisations: Optional[Sequence[float]] = None
+        self,
+        utilisations: Optional[Sequence[float]] = None,
+        *,
+        methods: Optional[Sequence[str]] = None,
     ) -> AccuracySweepResult:
         """Mean Psi and Upsilon per method over schedulable systems (Figures 6-7).
 
         Following the paper, the sweep evaluates the offline methods on systems
         that the proposed scheduling can handle (the static heuristic is used
-        as the admission filter); the GA contributes the best-Psi point of its
+        as the admission filter, whether or not ``"static"`` is among the
+        reported ``methods``); the GA contributes the best-Psi point of its
         Pareto front to Figure 6 and the best-Upsilon point to Figure 7.
         """
         config = self.config
         utilisations = list(utilisations or config.accuracy_utilisations)
-        methods = self.accuracy_methods()
+        methods = list(methods) if methods is not None else self.accuracy_methods()
 
         artifact = self._sweep_artifact_name("accuracy", utilisations, methods)
         if self.store is not None:
@@ -403,7 +386,13 @@ class ExperimentEngine:
         upsilon_series: Dict[str, List[float]] = {method: [] for method in methods}
         systems_evaluated: Dict[float, int] = {}
 
+        # "static" doubles as the admission filter, so its cells come from
+        # _admit_systems rather than a second evaluation; the GA (under any
+        # spec parameters) reports its best-per-objective Pareto points.
         other_methods = [method for method in methods if method != "static"]
+        ga_methods = {
+            method for method in methods if SchedulerSpec.parse(method).name == "ga"
+        }
         for utilisation in utilisations:
             admitted, static_cells = self._admit_systems(utilisation)
             jobs = [
@@ -416,14 +405,15 @@ class ExperimentEngine:
             per_method_psi: Dict[str, List[float]] = {method: [] for method in methods}
             per_method_upsilon: Dict[str, List[float]] = {method: [] for method in methods}
             for system_index in admitted:
-                static_cell = static_cells[system_index]
-                per_method_psi["static"].append(static_cell.psi)
-                per_method_upsilon["static"].append(static_cell.upsilon)
+                if "static" in per_method_psi:
+                    static_cell = static_cells[system_index]
+                    per_method_psi["static"].append(static_cell.psi)
+                    per_method_upsilon["static"].append(static_cell.upsilon)
                 for method in other_methods:
                     cell = cells[EvalJob(utilisation, system_index, method)]
-                    if method == "ga":
-                        per_method_psi["ga"].append(cell.best_psi)
-                        per_method_upsilon["ga"].append(cell.best_upsilon)
+                    if method in ga_methods:
+                        per_method_psi[method].append(cell.best_psi)
+                        per_method_upsilon[method].append(cell.best_upsilon)
                     else:
                         per_method_psi[method].append(cell.psi)
                         per_method_upsilon[method].append(cell.upsilon)

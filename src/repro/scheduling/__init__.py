@@ -10,6 +10,8 @@ Schedulers provided:
   dependency-graph decomposition plus LCC-D allocation, maximising Psi.
 * :class:`GAScheduler` — the paper's multi-objective genetic-algorithm search,
   maximising both Psi and Upsilon.
+* :class:`FPSOnlineSchedulabilityMethod` — the analytical "FPS-online"
+  schedulability test adapted to the scheduler API (produces no schedule).
 """
 
 from repro.scheduling.base import (
@@ -34,6 +36,7 @@ from repro.scheduling.registry import (
 from repro.scheduling.fps import FPSOfflineScheduler
 from repro.scheduling.gpiocp import GPIOCPScheduler
 from repro.scheduling.heuristic import HeuristicScheduler
+from repro.scheduling.online import FPSOnlineSchedulabilityMethod
 from repro.scheduling.lccd import LCCDAllocator
 from repro.scheduling.slots import FreeSlot, free_slots, slots_within_window
 from repro.scheduling.ga import GAScheduler, GAConfig
@@ -44,6 +47,7 @@ __all__ = [
     "SystemScheduleResult",
     "schedule_system",
     "FPSOfflineScheduler",
+    "FPSOnlineSchedulabilityMethod",
     "GPIOCPScheduler",
     "HeuristicScheduler",
     "GAScheduler",

@@ -9,6 +9,7 @@ so that Figures 6 and 7 can report the best value per objective.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -65,8 +66,25 @@ class GAScheduler(Scheduler):
 
     name = "ga"
 
-    def __init__(self, config: Optional[GAConfig] = None):
-        self.config = config or GAConfig()
+    def __init__(self, config: Optional[GAConfig] = None, **overrides):
+        """``overrides`` are :class:`GAConfig` fields applied on top of ``config``.
+
+        They exist so the scheduler registry (and spec strings such as
+        ``"ga:generations=50"``) can configure the search without constructing
+        a ``GAConfig`` first; an unknown field raises ``TypeError`` listing the
+        valid ones.
+        """
+        base = config or GAConfig()
+        if overrides:
+            valid = {f.name for f in dataclasses.fields(GAConfig)}
+            unknown = sorted(set(overrides) - valid)
+            if unknown:
+                raise TypeError(
+                    f"unknown GAConfig override(s) {unknown}; "
+                    f"valid fields: {', '.join(sorted(valid))}"
+                )
+            base = dataclasses.replace(base, **overrides)
+        self.config = base
 
     def schedule_jobs(self, jobs: Sequence[IOJob], horizon: int) -> ScheduleResult:
         jobs = list(jobs)

@@ -1,0 +1,39 @@
+"""The "fps-online" method: analytical schedulability behind the Scheduler API.
+
+The paper's FPS-online baseline (Figure 5) is not a scheduler at all — it is
+the worst-case response-time *analysis* of :mod:`repro.analysis` — but every
+consumer (sweeps, the scheduling service, CLIs) wants to drive all methods
+through one ``schedule_taskset`` interface.  This adapter bridges the two and
+registers itself with the scheduler registry, so
+``create_scheduler("fps-online")`` works anywhere the scheduling package is
+importable, without dragging in the experiments harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis import FPSOnlineTest
+from repro.core.task import TaskSet
+from repro.scheduling.base import SystemScheduleResult
+from repro.scheduling.registry import register_scheduler
+
+
+@register_scheduler("fps-online")
+class FPSOnlineSchedulabilityMethod:
+    """Adapter exposing the FPS-online analysis through the scheduler API.
+
+    The analytical test decides schedulability without producing a schedule,
+    so the adapter returns an empty per-device map and flags itself with
+    ``produces_schedule = False`` (consumers then record Psi/Upsilon as 0).
+    """
+
+    name = "fps-online"
+    produces_schedule = False
+
+    def schedule_taskset(
+        self, task_set: TaskSet, horizon: Optional[int] = None
+    ) -> SystemScheduleResult:
+        """Decide schedulability analytically; ``horizon`` is irrelevant here."""
+        schedulable = bool(FPSOnlineTest().is_schedulable(task_set))
+        return SystemScheduleResult(schedulable=schedulable, per_device={})

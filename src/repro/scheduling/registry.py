@@ -14,9 +14,15 @@ a ``schedule_taskset(task_set)`` method).  Factories may accept one optional
 positional ``config`` argument (e.g. :class:`~repro.scheduling.ga.GAConfig`
 for the GA); :func:`create_scheduler` only forwards ``config`` when the caller
 provides one, so config-free schedulers can ignore the concern entirely.
+Keyword arguments given to :func:`create_scheduler` are forwarded to the
+factory as overrides (this is what spec strings such as
+``"ga:generations=50"`` resolve through); a keyword the factory does not
+accept raises a ``TypeError`` naming the offending factory.
 """
 
 from __future__ import annotations
+
+import inspect
 
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
@@ -95,14 +101,64 @@ def get_scheduler_factory(name: str) -> Callable[..., Any]:
         ) from None
 
 
-def create_scheduler(name: str, config: Any = _MISSING) -> Any:
+def _describe_factory(factory: Callable[..., Any]) -> str:
+    """Human-readable identity of a factory for error messages."""
+    qualname = getattr(factory, "__qualname__", None) or getattr(
+        factory, "__name__", None
+    )
+    if qualname is None:
+        return repr(factory)
+    module = getattr(factory, "__module__", None)
+    return f"{module}.{qualname}" if module else qualname
+
+
+def _check_overrides(
+    name: str, factory: Callable[..., Any], args: Tuple[Any, ...], overrides: Dict[str, Any]
+) -> None:
+    """Reject keyword overrides the factory's signature cannot bind.
+
+    Raises a ``TypeError`` that names both the registry entry and the factory,
+    so a typo in a spec string points straight at the culprit.  Factories
+    whose signature cannot be introspected (some builtins) are given the
+    benefit of the doubt and called directly.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return
+    try:
+        signature.bind(*args, **overrides)
+    except TypeError as error:
+        accepted = ", ".join(signature.parameters) or "<none>"
+        raise TypeError(
+            f"scheduler {name!r} (factory {_describe_factory(factory)}) rejected "
+            f"keyword overrides {sorted(overrides)}: {error}; "
+            f"accepted parameters: {accepted}"
+        ) from None
+
+
+def create_scheduler(name: str, config: Any = _MISSING, **overrides: Any) -> Any:
     """Instantiate the scheduler registered under ``name``.
 
     ``config`` (when given) is forwarded as the factory's single positional
     argument; omitted otherwise, so factories without configuration knobs need
-    not declare a parameter for it.
+    not declare a parameter for it.  Keyword ``overrides`` are forwarded to
+    the factory verbatim — this is the hook spec strings such as
+    ``"ga:generations=50,population_size=40"`` resolve through.  An override
+    the factory rejects raises ``TypeError`` naming the factory.
     """
     factory = get_scheduler_factory(name)
-    if config is _MISSING:
-        return factory()
-    return factory(config)
+    args = () if config is _MISSING else (config,)
+    if overrides:
+        _check_overrides(name, factory, args, overrides)
+        try:
+            return factory(*args, **overrides)
+        except TypeError as error:
+            # The signature bound but the factory still rejected a keyword at
+            # construction time (e.g. an unknown config field): re-raise with
+            # the factory named so spec-string callers can locate the typo.
+            raise TypeError(
+                f"scheduler {name!r} (factory {_describe_factory(factory)}) rejected "
+                f"keyword overrides {sorted(overrides)}: {error}"
+            ) from error
+    return factory(*args)

@@ -1,0 +1,57 @@
+"""repro.service — the batch scheduling-service API.
+
+One facade for every consumer of the schedulers (experiments, examples, the
+simulation layer, CLIs, future network frontends):
+
+* :class:`SchedulerSpec` — ``"name:key=value,key=value"`` spec strings,
+  parsed/formatted losslessly and resolved through the scheduler registry;
+* :class:`ScheduleRequest` / :class:`ScheduleResponse` — frozen, typed
+  request/response envelopes with versioned JSON round-trip;
+* :class:`SchedulingService` — batch execution over a reusable worker pool
+  with a content-addressed :class:`ScheduleCache`;
+* :func:`execute_request` — the pure single-request execution path the
+  service (and the experiment engine's evaluation cells) run on;
+* ``python -m repro.service`` — requests in as JSONL, responses out as JSONL.
+"""
+
+from repro.service.cache import ScheduleCache
+from repro.service.messages import (
+    CACHE_DISABLED,
+    CACHE_HIT,
+    CACHE_MISS,
+    REQUEST_KIND,
+    REQUEST_VERSION,
+    RESPONSE_KIND,
+    RESPONSE_VERSION,
+    ScheduleRequest,
+    ScheduleResponse,
+)
+from repro.service.service import (
+    SchedulingService,
+    build_response,
+    effective_spec,
+    execute_request,
+    ga_best_objectives,
+)
+from repro.service.spec import SchedulerSpec, format_option_value, parse_option_value
+
+__all__ = [
+    "SchedulerSpec",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulingService",
+    "ScheduleCache",
+    "execute_request",
+    "effective_spec",
+    "build_response",
+    "ga_best_objectives",
+    "parse_option_value",
+    "format_option_value",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_DISABLED",
+    "REQUEST_KIND",
+    "REQUEST_VERSION",
+    "RESPONSE_KIND",
+    "RESPONSE_VERSION",
+]

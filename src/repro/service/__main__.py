@@ -1,0 +1,111 @@
+"""JSONL batch CLI for the scheduling service: ``python -m repro.service``.
+
+Reads schedule requests (one versioned JSON payload per line, see
+:class:`repro.service.ScheduleRequest`), executes them as one batch through
+:class:`repro.service.SchedulingService`, and writes the responses — one
+versioned JSON payload per line, in request order — to stdout or ``--output``.
+
+Examples::
+
+    # Schedule a request file on four workers with a persistent cache
+    python -m repro.service requests.jsonl --workers 4 --cache-dir cache/ -o responses.jsonl
+
+    # Pipe mode: requests on stdin, responses on stdout
+    python -m repro.service - < requests.jsonl > responses.jsonl
+
+Re-running the same requests against a populated ``--cache-dir`` recomputes
+nothing: every response comes back flagged ``cache: hit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.service.messages import ScheduleRequest
+from repro.service.service import SchedulingService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Batch-schedule JSONL schedule requests; JSONL responses out.",
+    )
+    parser.add_argument(
+        "input",
+        help="request JSONL file ('-' reads stdin); one versioned "
+        "repro/schedule-request payload per line",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="response JSONL file (default: stdout)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the batch (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent content-addressed schedule cache "
+        "(omit to cache in memory for this batch only)",
+    )
+    return parser
+
+
+def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
+    requests: List[ScheduleRequest] = []
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            requests.append(ScheduleRequest.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as error:
+            raise SystemExit(f"{source}:{line_number}: invalid request: {error}")
+    return requests
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    if args.input == "-":
+        requests = read_requests(sys.stdin, source="<stdin>")
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            requests = read_requests(handle, source=args.input)
+
+    with SchedulingService(n_workers=args.workers, cache_dir=args.cache_dir) as service:
+        responses = service.submit_batch(requests)
+        stats = service.stats()
+
+    lines = "".join(response.to_json() + "\n" for response in responses)
+    if args.output is None:
+        sys.stdout.write(lines)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+
+    hits = sum(1 for response in responses if response.cache == "hit")
+    print(
+        f"{len(responses)} response(s): {stats['computed']} computed, "
+        f"{hits} served from cache",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Content-addressed cache of schedule results.
+
+Entries are keyed by :meth:`ScheduleRequest.content_key
+<repro.service.messages.ScheduleRequest.content_key>` — a hash of the task
+set, the scheduler spec and the horizon — and hold the deterministic
+``result_dict`` of the corresponding response.  The same key therefore hits
+regardless of who asks, in which batch, at which worker count.
+
+The cache always serves from memory; with a ``directory`` it additionally
+persists every entry as one versioned JSON file (``<dir>/<key>.json``,
+written atomically via rename, mirroring the artifact store) and lazily loads
+entries back on lookup, so a service restarted against a warm directory
+recomputes nothing.  Files written by a *newer* format version raise
+:class:`~repro.core.serialization.PayloadVersionError` instead of being
+silently recomputed and overwritten; corrupt files are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.serialization import (
+    PayloadVersionError,
+    parse_versioned_payload,
+    versioned_payload,
+)
+
+CACHE_ENTRY_KIND = "repro/schedule-cache-entry"
+CACHE_ENTRY_VERSION = 1
+
+
+class ScheduleCache:
+    """In-memory (and optionally directory-backed) store of schedule results."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        #: Lookup statistics over this cache's lifetime.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not None
+
+    # -- lookups -----------------------------------------------------------------
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but without touching the hit/miss statistics."""
+        entry = self._entries.get(key)
+        if entry is None and self.directory is not None:
+            entry = self._load(key)
+            if entry is not None:
+                self._entries[key] = entry
+        return entry
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result for ``key``, or ``None`` on a miss."""
+        entry = self.peek(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        """Store ``result`` under ``key`` (idempotent; first write wins)."""
+        if key in self._entries:
+            return
+        self._entries[key] = result
+        if self.directory is not None:
+            self._persist(key, result)
+
+    # -- the on-disk form --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _persist(self, key: str, result: Dict[str, Any]) -> None:
+        # Written unconditionally through a per-writer unique temp file:
+        # concurrent services sharing one directory then cannot truncate each
+        # other mid-write (os.replace is atomic, last writer wins, and every
+        # writer holds an identical result), and a corrupt entry left by a
+        # crashed writer is repaired by the next recompute instead of
+        # shadowing the key forever.
+        path = self._path(key)
+        payload = versioned_payload(
+            CACHE_ENTRY_KIND, CACHE_ENTRY_VERSION, {"key": key, "result": result}
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            _, data = parse_versioned_payload(
+                payload, CACHE_ENTRY_KIND, max_version=CACHE_ENTRY_VERSION
+            )
+            return dict(data["result"])
+        except PayloadVersionError:
+            raise  # a newer writer owns this entry: never clobber it
+        except (ValueError, KeyError, TypeError, OSError):
+            return None  # corrupt entry: treat as a miss and recompute

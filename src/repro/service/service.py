@@ -1,0 +1,320 @@
+"""The scheduling service: batch request execution over a reusable worker pool.
+
+:func:`execute_request` is the single, *pure* execution path: resolve the
+request's spec through the scheduler registry, schedule the task set, and
+fold the outcome into a :class:`~repro.service.messages.ScheduleResponse`.
+Purity is load-bearing — for stochastic methods that were not given an
+explicit ``seed`` option (the GA), the service derives one from the request's
+content hash, so the same request yields bit-identical results in-process, on
+any worker of the pool, and across runs.  That is what makes the
+content-addressed :class:`~repro.service.cache.ScheduleCache` sound.
+
+:class:`SchedulingService` layers three things on top of the pure function:
+
+* a **worker pool** (``ProcessPoolExecutor``; ``n_workers=1`` runs serially
+  in-process) that is created lazily and reused across batches;
+* the **schedule cache** — requests whose content key is already cached are
+  answered without computing anything, and duplicate requests inside one
+  batch are computed once;
+* **provenance** — every response records whether it was a cache ``hit`` or
+  ``miss`` (or ``disabled``), under which content key, and how long the
+  computation took.
+
+The experiment engine, the quickstart example, the controller simulation and
+the ``python -m repro.service`` JSONL CLI all schedule through this facade.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.metrics import aggregate_psi, aggregate_upsilon
+from repro.core.serialization import content_hash, schedule_to_dict
+from repro.scheduling.base import SystemScheduleResult
+from repro.service.cache import ScheduleCache
+from repro.service.messages import (
+    CACHE_DISABLED,
+    CACHE_HIT,
+    CACHE_MISS,
+    ScheduleRequest,
+    ScheduleResponse,
+)
+from repro.service.spec import SchedulerSpec
+
+#: Spec names for which the service derives a deterministic seed when the
+#: request does not pin one.  Methods registered here must accept a ``seed``
+#: keyword override.
+DERIVED_SEED_METHODS = frozenset({"ga"})
+
+#: Scalar types of per-device ``info`` diagnostics that responses carry over.
+_SCALAR_INFO_TYPES = (bool, int, float, str, type(None))
+
+
+def derive_seed(request: ScheduleRequest) -> int:
+    """Deterministic RNG seed derived from the request's content.
+
+    Salted so the stream decorrelates from any other use of the same hash.
+    """
+    return int(content_hash({"purpose": "service-derived-seed", "request": request.content_key()}), 16)
+
+
+def effective_spec(request: ScheduleRequest) -> SchedulerSpec:
+    """The spec actually executed: the request's, plus a derived seed if needed."""
+    spec = request.spec
+    if spec.name in DERIVED_SEED_METHODS and spec.options_dict().get("seed") is None:
+        return spec.with_options(seed=derive_seed(request))
+    return spec
+
+
+def ga_best_objectives(result: SystemScheduleResult) -> Tuple[float, float]:
+    """Aggregate the best-Psi and best-Upsilon Pareto points across devices.
+
+    Each per-device GA search yields its own Pareto front; the system-level
+    figures use the best-Psi (respectively best-Upsilon) schedule of every
+    partition, aggregated job-weighted, mirroring how the paper reports "the
+    best result obtained for each objective".  For single-schedule methods the
+    per-device fronts degenerate to the produced schedule, so the aggregates
+    equal the plain system Psi/Upsilon.
+    """
+    best_psi_schedules = []
+    best_upsilon_schedules = []
+    for device_result in result.per_device.values():
+        info = device_result.info
+        psi_schedule = info.get("best_psi_schedule") or device_result.schedule
+        upsilon_schedule = info.get("best_upsilon_schedule") or device_result.schedule
+        if psi_schedule is not None:
+            best_psi_schedules.append(psi_schedule)
+        if upsilon_schedule is not None:
+            best_upsilon_schedules.append(upsilon_schedule)
+    best_psi = aggregate_psi(best_psi_schedules) if best_psi_schedules else 0.0
+    best_upsilon = aggregate_upsilon(best_upsilon_schedules) if best_upsilon_schedules else 0.0
+    return best_psi, best_upsilon
+
+
+def _effective_horizon(request: ScheduleRequest) -> int:
+    if request.horizon is not None:
+        return request.horizon
+    return request.task_set.hyperperiod() if len(request.task_set) else 0
+
+
+def build_response(
+    request: ScheduleRequest,
+    spec: SchedulerSpec,
+    result: SystemScheduleResult,
+    *,
+    produces_schedule: bool = True,
+    elapsed_s: float = 0.0,
+) -> ScheduleResponse:
+    """Fold a scheduler outcome into the response envelope (deterministic)."""
+    if not produces_schedule:
+        return ScheduleResponse(
+            request_id=request.request_id,
+            spec=str(spec),
+            horizon=_effective_horizon(request),
+            schedulable=bool(result.schedulable),
+            psi=0.0,
+            upsilon=0.0,
+            best_psi=0.0,
+            best_upsilon=0.0,
+            per_device={},
+            elapsed_s=elapsed_s,
+        )
+
+    per_device: Dict[str, Dict[str, Any]] = {}
+    for device, device_result in result.per_device.items():
+        schedule = device_result.schedule
+        info = {
+            key: value
+            for key, value in device_result.info.items()
+            if isinstance(value, _SCALAR_INFO_TYPES)
+        }
+        per_device[device] = {
+            "schedulable": bool(device_result.schedulable),
+            "psi": device_result.psi,
+            "upsilon": device_result.upsilon,
+            "n_jobs": device_result.metrics.n_jobs,
+            "schedule": (
+                schedule_to_dict(schedule, request.task_set) if schedule is not None else None
+            ),
+            "info": info,
+        }
+
+    best_psi, best_upsilon = ga_best_objectives(result)
+    return ScheduleResponse(
+        request_id=request.request_id,
+        spec=str(spec),
+        horizon=_effective_horizon(request),
+        schedulable=bool(result.schedulable),
+        psi=result.psi,
+        upsilon=result.upsilon,
+        best_psi=best_psi,
+        best_upsilon=best_upsilon,
+        per_device=per_device,
+        elapsed_s=elapsed_s,
+    )
+
+
+def execute_request(request: ScheduleRequest) -> ScheduleResponse:
+    """Execute one request end to end; pure in the request's content.
+
+    The returned response carries no cache provenance (``cache="disabled"``);
+    the service stamps hit/miss status and the content key on top.
+    """
+    start = time.perf_counter()
+    spec = effective_spec(request)
+    scheduler = spec.resolve()
+    if request.horizon is None:
+        result = scheduler.schedule_taskset(request.task_set)
+    else:
+        result = scheduler.schedule_taskset(request.task_set, request.horizon)
+    produces_schedule = bool(getattr(scheduler, "produces_schedule", True))
+    elapsed = time.perf_counter() - start
+    return build_response(
+        request, spec, result, produces_schedule=produces_schedule, elapsed_s=elapsed
+    )
+
+
+_CACHE_DEFAULT = object()
+
+
+class SchedulingService:
+    """Request/response facade over the schedulers, with batching and caching.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes for batch execution; ``1`` (the default) runs
+        serially in-process.  Responses are bit-identical at any worker
+        count.
+    cache_dir:
+        Directory for the persistent schedule cache; ``None`` keeps the
+        cache in memory only.
+    cache:
+        An explicit :class:`ScheduleCache` to share between services, or
+        ``None`` to disable the cache: nothing is stored across batches and
+        responses carry ``cache="disabled"``.  Content-identical requests
+        *within* one batch are still computed only once (the execution path
+        is pure, so recomputing them could never change the answer).
+
+    Use the service as a context manager (or call :meth:`close`) to release
+    the worker pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: Union[ScheduleCache, None, object] = _CACHE_DEFAULT,
+    ):
+        if not isinstance(n_workers, int) or n_workers < 1:
+            raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
+        if cache is not _CACHE_DEFAULT and cache_dir is not None:
+            raise ValueError("pass either cache_dir or an explicit cache, not both")
+        self.n_workers = n_workers
+        if cache is _CACHE_DEFAULT:
+            self.cache: Optional[ScheduleCache] = ScheduleCache(cache_dir)
+        else:
+            self.cache = cache  # type: ignore[assignment]
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Requests actually computed (cache misses) over this service's lifetime.
+        self.computed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    # -- the API -----------------------------------------------------------------
+
+    def submit(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Execute one request (through the cache)."""
+        return self.submit_batch([request])[0]
+
+    def submit_batch(self, requests: Iterable[ScheduleRequest]) -> List[ScheduleResponse]:
+        """Execute a batch; responses are returned in request order.
+
+        Cached and duplicate requests are not recomputed: every distinct
+        content key in the batch is executed at most once, and each response's
+        ``cache`` field records what happened (``hit``/``miss``/``disabled``).
+        """
+        requests = list(requests)
+        responses: List[Optional[ScheduleResponse]] = [None] * len(requests)
+        keys = [request.content_key() for request in requests]
+
+        # Key -> positions still to answer, in first-seen order.
+        pending: Dict[str, List[int]] = {}
+        for position, (request, key) in enumerate(zip(requests, keys)):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                responses[position] = ScheduleResponse.from_result_dict(
+                    cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
+                )
+            else:
+                pending.setdefault(key, []).append(position)
+
+        computed = self._execute_unique(
+            [(key, requests[positions[0]]) for key, positions in pending.items()]
+        )
+
+        for key, positions in pending.items():
+            base = computed[key]
+            if self.cache is not None:
+                self.cache.put(key, base.result_dict())
+            for occurrence, position in enumerate(positions):
+                if self.cache is None:
+                    status = CACHE_DISABLED
+                else:
+                    status = CACHE_MISS if occurrence == 0 else CACHE_HIT
+                responses[position] = replace(
+                    base,
+                    request_id=requests[position].request_id,
+                    cache=status,
+                    cache_key=key,
+                )
+        return [response for response in responses if response is not None]
+
+    def _execute_unique(
+        self, work: Sequence[Tuple[str, ScheduleRequest]]
+    ) -> Dict[str, ScheduleResponse]:
+        if not work:
+            return {}
+        requests = [request for _, request in work]
+        if self.n_workers == 1 or len(requests) == 1:
+            results = [execute_request(request) for request in requests]
+        else:
+            chunksize = max(1, len(requests) // (self.n_workers * 4))
+            results = list(
+                self._get_executor().map(execute_request, requests, chunksize=chunksize)
+            )
+        self.computed += len(results)
+        return {key: result for (key, _), result in zip(work, results)}
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: requests computed plus cache hit/miss totals."""
+        stats = {"computed": self.computed}
+        if self.cache is not None:
+            stats.update(
+                cache_entries=len(self.cache),
+                cache_hits=self.cache.hits,
+                cache_misses=self.cache.misses,
+            )
+        return stats

@@ -1,0 +1,113 @@
+"""The engine's cells run on the scheduling service; sweeps accept method specs."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentEngine
+from repro.experiments.engine import EvalJob, cell_seed, cell_spec, evaluate_cell
+from repro.experiments.engine import _GA_SEED_OFFSET
+from repro.scheduling import GAConfig
+from repro.service import ScheduleRequest, execute_request
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        schedulability_utilisations=(0.3, 0.6),
+        accuracy_utilisations=(0.3,),
+        n_systems=3,
+        ga=GAConfig(population_size=8, generations=4),
+    )
+
+
+class TestCellSpecs:
+    def test_plain_methods_parse_to_bare_specs(self, config):
+        spec = cell_spec(config, EvalJob(0.3, 0, "static"))
+        assert spec.name == "static"
+        assert spec.options == ()
+
+    def test_ga_spec_carries_config_and_derived_seed(self, config):
+        job = EvalJob(0.3, 1, "ga")
+        spec = cell_spec(config, job)
+        options = spec.options_dict()
+        assert options["population_size"] == 8
+        assert options["generations"] == 4
+        assert options["seed"] == cell_seed(config, 0.3, 1) + _GA_SEED_OFFSET
+
+    def test_ga_spec_options_override_the_config(self, config):
+        spec = cell_spec(config, EvalJob(0.3, 1, "ga:generations=2,seed=5"))
+        options = spec.options_dict()
+        assert options["generations"] == 2
+        assert options["population_size"] == 8
+        assert options["seed"] == 5
+
+    def test_cell_equals_direct_service_request(self, config):
+        """A sweep cell and a service request with the same content coincide."""
+        job = EvalJob(0.3, 0, "static")
+        cell = evaluate_cell(config, job)
+        with ExperimentEngine(config) as engine:
+            task_set = engine.generate_system(0.3, 0)
+        response = execute_request(
+            ScheduleRequest(task_set=task_set, spec=cell_spec(config, job))
+        )
+        assert cell.schedulable == response.schedulable
+        assert cell.psi == response.psi
+        assert cell.upsilon == response.upsilon
+        assert cell.best_psi == response.best_psi
+        assert cell.best_upsilon == response.best_upsilon
+
+
+class TestMethodSubsets:
+    def test_schedulability_sweep_with_method_subset(self, config):
+        with ExperimentEngine(config) as engine:
+            full = engine.schedulability_sweep()
+            subset = engine.schedulability_sweep(methods=["static", "fps-online"])
+        assert set(subset.series) == {"static", "fps-online"}
+        assert subset.series["static"] == full.series["static"]
+        assert subset.series["fps-online"] == full.series["fps-online"]
+
+    def test_sweep_accepts_spec_strings_as_methods(self, config):
+        with ExperimentEngine(config) as engine:
+            result = engine.schedulability_sweep(
+                methods=["static", "ga:generations=2,population_size=6"]
+            )
+        assert set(result.series) == {"static", "ga:generations=2,population_size=6"}
+
+    def test_accuracy_sweep_without_static_still_admits_via_static(self, config):
+        with ExperimentEngine(config) as engine:
+            full = engine.accuracy_sweep()
+            subset = engine.accuracy_sweep(methods=["gpiocp"])
+        assert set(subset.psi.series) == {"gpiocp"}
+        assert subset.psi.series["gpiocp"] == full.psi.series["gpiocp"]
+        assert subset.systems_evaluated == full.systems_evaluated
+
+    def test_methods_flag_validates_specs(self):
+        from repro.experiments.__main__ import build_parser, validate_methods
+
+        parser = build_parser()
+        assert validate_methods(parser, None) is None
+        methods = ["static", "ga:generations=3"]
+        assert validate_methods(parser, methods) == methods
+        with pytest.raises(SystemExit):
+            validate_methods(parser, ["no-such-method"])
+        with pytest.raises(SystemExit):
+            validate_methods(parser, ["ga:generations"])  # missing '='
+
+    def test_cli_runs_a_method_subset(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig5", "--scale", "smoke", "--methods", "static", "gpiocp"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "gpiocp" in out
+        assert "fps-online" not in out
+
+    def test_spec_strings_share_cache_cells_with_equivalent_orderings(
+        self, config, tmp_path
+    ):
+        methods_a = ["ga:generations=2,population_size=6"]
+        methods_b = ["ga:population_size=6,generations=2"]
+        with ExperimentEngine(config, artifact_dir=str(tmp_path)) as engine:
+            first = engine.schedulability_sweep(methods=methods_a)
+            computed = engine.cells_computed
+            second = engine.schedulability_sweep(methods=methods_b)
+            assert engine.cells_computed == computed, "reordered spec recomputed cells"
+        assert first.series[methods_a[0]] == second.series[methods_b[0]]

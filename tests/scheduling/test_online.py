@@ -1,0 +1,40 @@
+"""The fps-online adapter lives in the scheduling layer, not the harness."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import FPSOnlineTest
+from repro.scheduling import FPSOnlineSchedulabilityMethod, create_scheduler
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_adapter_matches_the_analysis():
+    task_set = SystemGenerator(GeneratorConfig(), rng=4).generate(0.5)
+    scheduler = create_scheduler("fps-online")
+    assert isinstance(scheduler, FPSOnlineSchedulabilityMethod)
+    assert scheduler.produces_schedule is False
+    result = scheduler.schedule_taskset(task_set)
+    assert result.schedulable == bool(FPSOnlineTest().is_schedulable(task_set))
+    assert result.per_device == {}
+
+
+def test_fps_online_resolves_without_the_experiments_package():
+    """Regression: registration must not require importing repro.experiments."""
+    probe = (
+        "import sys\n"
+        "from repro.scheduling import create_scheduler\n"
+        "scheduler = create_scheduler('fps-online')\n"
+        "assert scheduler.name == 'fps-online'\n"
+        "assert not any(m.startswith('repro.experiments') for m in sys.modules), "
+        "'importing repro.scheduling dragged in repro.experiments'\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", probe], capture_output=True, text=True, env=env, check=False
+    )
+    assert completed.returncode == 0, completed.stderr

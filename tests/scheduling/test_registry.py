@@ -51,6 +51,48 @@ class TestBuiltinRegistrations:
             get_scheduler_factory("no-such-method")
 
 
+class TestKeywordOverrides:
+    def test_overrides_are_forwarded_to_the_factory(self):
+        scheduler = create_scheduler("ga", generations=3, population_size=8, seed=1)
+        assert scheduler.config.generations == 3
+        assert scheduler.config.population_size == 8
+        assert scheduler.config.seed == 1
+
+    def test_overrides_compose_with_a_positional_config(self):
+        base = GAConfig(population_size=5, generations=2, seed=7)
+        scheduler = create_scheduler("ga", base, generations=9)
+        assert scheduler.config.generations == 9
+        assert scheduler.config.population_size == 5
+        assert scheduler.config.seed == 7
+
+    def test_plain_keyword_parameters_work_too(self):
+        scheduler = create_scheduler("static", prefer_ideal_placement=True)
+        assert scheduler.allocator.prefer_ideal_placement is True
+
+    def test_rejected_keyword_names_the_factory(self):
+        with pytest.raises(TypeError, match="GPIOCPScheduler"):
+            create_scheduler("gpiocp", bogus=1)
+        with pytest.raises(TypeError, match="'gpiocp'"):
+            create_scheduler("gpiocp", bogus=1)
+
+    def test_rejected_config_field_names_the_factory_and_lists_fields(self):
+        with pytest.raises(TypeError, match="GAScheduler"):
+            create_scheduler("ga", nonsense=2)
+        with pytest.raises(TypeError, match="population_size"):
+            create_scheduler("ga", nonsense=2)
+
+    def test_factory_internal_type_errors_are_not_masked_without_overrides(self):
+        def exploding():
+            raise TypeError("internal failure")
+
+        register_scheduler("test-exploding", exploding)
+        try:
+            with pytest.raises(TypeError, match="internal failure"):
+                create_scheduler("test-exploding")
+        finally:
+            unregister_scheduler("test-exploding")
+
+
 class TestRegistration:
     def test_register_decorator_and_unregister(self):
         @register_scheduler("test-dummy")

@@ -1,0 +1,125 @@
+"""End-to-end tests of the ``python -m repro.service`` JSONL batch CLI."""
+
+import json
+
+import pytest
+
+from repro.core.serialization import PayloadVersionError
+from repro.service import (
+    RESPONSE_KIND,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulerSpec,
+    execute_request,
+)
+from repro.service.__main__ import build_parser, main
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+SPECS = ("static", "gpiocp", "ga:population_size=8,generations=4,seed=2")
+
+
+@pytest.fixture()
+def requests_file(tmp_path):
+    requests = [
+        ScheduleRequest(
+            task_set=SystemGenerator(GeneratorConfig(), rng=index).generate(0.4),
+            spec=SchedulerSpec.parse(spec),
+            request_id=f"{index}/{spec}",
+        )
+        for index in range(2)
+        for spec in SPECS
+    ]
+    path = tmp_path / "requests.jsonl"
+    path.write_text("".join(request.to_json() + "\n" for request in requests))
+    return path, requests
+
+
+def read_responses(path):
+    return [ScheduleResponse.from_json(line) for line in path.read_text().splitlines()]
+
+
+class TestBatchCLI:
+    """Acceptance: request JSONL round-trips to valid, versioned response JSONL."""
+
+    def test_round_trip_produces_versioned_responses_in_order(
+        self, requests_file, tmp_path
+    ):
+        requests_path, requests = requests_file
+        out_path = tmp_path / "responses.jsonl"
+        assert main([str(requests_path), "-o", str(out_path)]) == 0
+
+        raw_lines = out_path.read_text().splitlines()
+        assert len(raw_lines) == len(requests)
+        for line in raw_lines:
+            payload = json.loads(line)
+            assert payload["kind"] == RESPONSE_KIND
+            assert payload["version"] == 1
+
+        responses = read_responses(out_path)
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        for request, response in zip(requests, responses):
+            assert response.result_dict() == execute_request(request).result_dict()
+
+    def test_warm_cache_run_recomputes_nothing(self, requests_file, tmp_path, capsys):
+        requests_path, requests = requests_file
+        cache_dir = tmp_path / "cache"
+        out_cold = tmp_path / "cold.jsonl"
+        out_warm = tmp_path / "warm.jsonl"
+
+        main([str(requests_path), "--cache-dir", str(cache_dir), "-o", str(out_cold)])
+        cold_stderr = capsys.readouterr().err
+        assert f"{len(requests)} computed" in cold_stderr
+
+        main([str(requests_path), "--cache-dir", str(cache_dir), "-o", str(out_warm)])
+        warm_stderr = capsys.readouterr().err
+        assert "0 computed" in warm_stderr
+        assert f"{len(requests)} served from cache" in warm_stderr
+
+        cold = read_responses(out_cold)
+        warm = read_responses(out_warm)
+        assert all(response.cache == "miss" for response in cold)
+        assert all(response.cache == "hit" for response in warm)
+        assert [r.result_dict() for r in warm] == [r.result_dict() for r in cold]
+
+    def test_workers_flag_is_result_invariant(self, requests_file, tmp_path):
+        requests_path, _ = requests_file
+        out_serial = tmp_path / "serial.jsonl"
+        out_parallel = tmp_path / "parallel.jsonl"
+        main([str(requests_path), "-o", str(out_serial)])
+        main([str(requests_path), "--workers", "3", "-o", str(out_parallel)])
+        assert [r.result_dict() for r in read_responses(out_serial)] == [
+            r.result_dict() for r in read_responses(out_parallel)
+        ]
+
+    def test_stdout_mode_and_blank_lines(self, requests_file, tmp_path, capsys):
+        requests_path, requests = requests_file
+        # Blank lines between payloads must be tolerated.
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text(requests_path.read_text().replace("\n", "\n\n"))
+        assert main([str(padded)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == len(requests)
+
+    def test_invalid_request_line_fails_with_location(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "wrong"}\n')
+        with pytest.raises(SystemExit, match="bad.jsonl:1"):
+            main([str(bad)])
+
+    def test_newer_request_version_fails_loudly(self, requests_file, tmp_path):
+        requests_path, requests = requests_file
+        payload = json.loads(requests_path.read_text().splitlines()[0])
+        payload["version"] = 99
+        newer = tmp_path / "newer.jsonl"
+        newer.write_text(json.dumps(payload) + "\n")
+        with pytest.raises((SystemExit, PayloadVersionError)):
+            main([str(newer)])
+
+    def test_parser_rejects_bad_worker_count(self, requests_file):
+        requests_path, _ = requests_file
+        with pytest.raises(SystemExit):
+            main([str(requests_path), "--workers", "0"])
+
+    def test_parser_metadata(self):
+        parser = build_parser()
+        assert "repro.service" in parser.prog

@@ -1,0 +1,226 @@
+"""Tests of SchedulingService batches: exactness, worker invariance, caching."""
+
+import pytest
+
+from repro.scheduling import create_scheduler
+from repro.service import (
+    CACHE_DISABLED,
+    CACHE_HIT,
+    CACHE_MISS,
+    ScheduleCache,
+    ScheduleRequest,
+    SchedulerSpec,
+    SchedulingService,
+    effective_spec,
+    execute_request,
+)
+from repro.service.cache import CACHE_ENTRY_KIND
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+#: Reference methods: every paper scheduler plus the analysis-only adapter.
+METHOD_SPECS = (
+    "fps-offline",
+    "gpiocp",
+    "static",
+    "fps-online",
+    "ga:population_size=8,generations=4,seed=9",
+)
+
+
+def make_taskset(index: int, utilisation: float = 0.4):
+    return SystemGenerator(GeneratorConfig(), rng=index).generate(utilisation)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return [
+        ScheduleRequest(
+            task_set=make_taskset(index),
+            spec=SchedulerSpec.parse(spec),
+            request_id=f"{index}/{spec}",
+        )
+        for index in range(3)
+        for spec in METHOD_SPECS
+    ]
+
+
+class TestExactness:
+    """Acceptance: responses bit-identical to direct schedule_taskset calls."""
+
+    def test_batch_matches_direct_scheduler_calls(self, batch):
+        with SchedulingService() as service:
+            responses = service.submit_batch(batch)
+        for request, response in zip(batch, responses):
+            scheduler = effective_spec(request).resolve()
+            direct = scheduler.schedule_taskset(request.task_set)
+            assert response.request_id == request.request_id
+            assert response.schedulable == direct.schedulable
+            if getattr(scheduler, "produces_schedule", True):
+                assert response.psi == direct.psi
+                assert response.upsilon == direct.upsilon
+            else:
+                assert response.psi == 0.0
+                assert response.upsilon == 0.0
+                assert response.per_device == {}
+
+    def test_batch_is_bit_identical_at_any_worker_count(self, batch):
+        results = {}
+        for n_workers in (1, 2, 4):
+            with SchedulingService(n_workers=n_workers, cache=None) as service:
+                results[n_workers] = [
+                    response.result_dict() for response in service.submit_batch(batch)
+                ]
+        assert results[1] == results[2] == results[4]
+
+    def test_execute_request_is_pure(self, batch):
+        for request in batch[:3]:
+            assert (
+                execute_request(request).result_dict()
+                == execute_request(request).result_dict()
+            )
+
+
+class TestDerivedSeeds:
+    def test_unseeded_ga_requests_are_deterministic(self):
+        request = ScheduleRequest(
+            task_set=make_taskset(1),
+            spec=SchedulerSpec.parse("ga:population_size=8,generations=4"),
+        )
+        assert effective_spec(request).options_dict()["seed"] is not None
+        assert (
+            execute_request(request).result_dict()
+            == execute_request(request).result_dict()
+        )
+
+    def test_pinned_seed_is_respected(self):
+        request = ScheduleRequest(
+            task_set=make_taskset(1),
+            spec=SchedulerSpec.parse("ga:population_size=8,generations=4,seed=3"),
+        )
+        assert effective_spec(request) is request.spec
+
+    def test_response_spec_records_the_derived_seed(self):
+        request = ScheduleRequest(
+            task_set=make_taskset(1),
+            spec=SchedulerSpec.parse("ga:population_size=8,generations=4"),
+        )
+        response = execute_request(request)
+        replay_spec = SchedulerSpec.parse(response.spec)
+        assert isinstance(replay_spec.options_dict()["seed"], int)
+        # Replaying the recorded spec reproduces the response exactly.
+        replay = execute_request(
+            ScheduleRequest(task_set=request.task_set, spec=replay_spec)
+        )
+        assert replay.result_dict()["per_device"] == response.result_dict()["per_device"]
+
+
+class TestCacheProvenance:
+    """Acceptance: resubmitting a batch recomputes nothing, flagged as hits."""
+
+    def test_cold_then_warm_batch(self, batch, tmp_path):
+        with SchedulingService(cache_dir=str(tmp_path)) as service:
+            cold = service.submit_batch(batch)
+            assert service.computed == len(batch)
+            assert all(response.cache == CACHE_MISS for response in cold)
+
+            warm = service.submit_batch(batch)
+            assert service.computed == len(batch), "warm batch recomputed something"
+            assert all(response.cache == CACHE_HIT for response in warm)
+            assert [r.result_dict() for r in warm] == [r.result_dict() for r in cold]
+
+    def test_cache_persists_across_service_instances(self, batch, tmp_path):
+        with SchedulingService(cache_dir=str(tmp_path)) as service:
+            cold = service.submit_batch(batch)
+        with SchedulingService(cache_dir=str(tmp_path)) as service:
+            warm = service.submit_batch(batch)
+            assert service.computed == 0
+        assert all(response.cache == CACHE_HIT for response in warm)
+        assert [r.result_dict() for r in warm] == [r.result_dict() for r in cold]
+
+    def test_duplicate_requests_within_a_batch_compute_once(self):
+        request = ScheduleRequest(task_set=make_taskset(0), spec="static")
+        twin = ScheduleRequest(task_set=make_taskset(0), spec="static", request_id="twin")
+        with SchedulingService() as service:
+            first, second = service.submit_batch([request, twin])
+            assert service.computed == 1
+        assert first.cache == CACHE_MISS
+        assert second.cache == CACHE_HIT
+        assert second.request_id == "twin"
+        assert first.result_dict() == second.result_dict()
+        assert first.cache_key == second.cache_key
+
+    def test_disabled_cache_recomputes_and_says_so(self):
+        request = ScheduleRequest(task_set=make_taskset(0), spec="static")
+        with SchedulingService(cache=None) as service:
+            first = service.submit(request)
+            second = service.submit(request)
+            assert service.computed == 2
+        assert first.cache == CACHE_DISABLED
+        assert second.cache == CACHE_DISABLED
+
+    def test_cache_key_matches_request_content_key(self):
+        request = ScheduleRequest(task_set=make_taskset(0), spec="static")
+        with SchedulingService() as service:
+            response = service.submit(request)
+        assert response.cache_key == request.content_key()
+
+    def test_explicit_cache_and_cache_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            SchedulingService(cache_dir=str(tmp_path), cache=ScheduleCache())
+
+    def test_invalid_worker_count_is_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SchedulingService(n_workers=0)
+
+
+class TestScheduleCache:
+    def test_on_disk_entries_are_versioned_and_lazily_loaded(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        cache.put("deadbeef", {"spec": "static", "schedulable": True})
+        import json
+
+        (path,) = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == CACHE_ENTRY_KIND
+
+        fresh = ScheduleCache(tmp_path)
+        assert fresh.get("deadbeef") == {"spec": "static", "schedulable": True}
+        assert fresh.hits == 1
+
+    def test_corrupt_entries_are_misses_and_get_repaired(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        (tmp_path / "cafecafe.json").write_text("{not json")
+        assert cache.get("cafecafe") is None
+        assert cache.misses == 1
+        # Recomputing the entry must overwrite the corrupt file, not skip it.
+        cache.put("cafecafe", {"spec": "static"})
+        assert ScheduleCache(tmp_path).get("cafecafe") == {"spec": "static"}
+        assert not list(tmp_path.glob("*.tmp")), "temp files must not leak"
+
+    def test_newer_entries_raise_instead_of_being_clobbered(self, tmp_path):
+        import json
+
+        cache = ScheduleCache(tmp_path)
+        cache.put("feedface", {"spec": "static"})
+        (path,) = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+
+        from repro.core.serialization import PayloadVersionError
+
+        with pytest.raises(PayloadVersionError):
+            ScheduleCache(tmp_path).get("feedface")
+
+    def test_parallel_service_matches_direct_calls(self):
+        requests = [
+            ScheduleRequest(task_set=make_taskset(index), spec="static")
+            for index in range(4)
+        ]
+        with SchedulingService(n_workers=2, cache=None) as service:
+            responses = service.submit_batch(requests)
+        for request, response in zip(requests, responses):
+            direct = create_scheduler("static").schedule_taskset(request.task_set)
+            assert response.schedulable == direct.schedulable
+            assert response.psi == direct.psi
+            assert response.upsilon == direct.upsilon

@@ -1,0 +1,173 @@
+"""Unit and property tests for the SchedulerSpec grammar."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scheduling import GAScheduler, HeuristicScheduler
+from repro.service import SchedulerSpec, format_option_value, parse_option_value
+
+
+class TestParse:
+    def test_bare_name(self):
+        spec = SchedulerSpec.parse("static")
+        assert spec.name == "static"
+        assert spec.options == ()
+        assert str(spec) == "static"
+
+    def test_typed_option_values(self):
+        spec = SchedulerSpec.parse(
+            "ga:generations=50,population_size=40,crossover_probability=0.9,"
+            "seed_with_heuristic=true,seed=none,label=fast"
+        )
+        assert spec.options_dict() == {
+            "generations": 50,
+            "population_size": 40,
+            "crossover_probability": 0.9,
+            "seed_with_heuristic": True,
+            "seed": None,
+            "label": "fast",
+        }
+
+    def test_options_are_key_sorted_and_order_insensitive(self):
+        a = SchedulerSpec.parse("ga:b=1,a=2")
+        b = SchedulerSpec.parse("ga:a=2,b=1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert str(a) == "ga:a=2,b=1"
+
+    def test_whitespace_is_tolerated_around_tokens(self):
+        spec = SchedulerSpec.parse(" ga : generations = 5 , seed = 7 ")
+        assert spec.name == "ga"
+        assert spec.options_dict() == {"generations": 5, "seed": 7}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            ":",
+            "ga:",
+            "ga:generations",
+            "ga:generations=5,generations=6",
+            "ga:bad key=1",
+            "bad name:x=1",
+            "ga:=5",
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, text):
+        with pytest.raises(ValueError):
+            SchedulerSpec.parse(text)
+
+    def test_non_string_input_raises_type_error(self):
+        with pytest.raises(TypeError):
+            SchedulerSpec.parse(42)
+
+    def test_non_finite_float_literals_stay_strings(self):
+        """Regression: 'nan'/'inf' must not parse to floats format() refuses."""
+        spec = SchedulerSpec.parse("m:a=nan,b=inf,c=1e999")
+        assert spec.options_dict() == {"a": "nan", "b": "inf", "c": "1e999"}
+        assert SchedulerSpec.parse(spec.format()) == spec
+
+    def test_coerce_accepts_both_forms(self):
+        spec = SchedulerSpec.parse("static")
+        assert SchedulerSpec.coerce(spec) is spec
+        assert SchedulerSpec.coerce("static") == spec
+
+
+class TestFormat:
+    def test_unrepresentable_strings_are_rejected(self):
+        for value in ("true", "none", "1", "1.5", "has space", "a,b", "x=y", ""):
+            with pytest.raises(ValueError):
+                format_option_value(value)
+
+    def test_non_finite_floats_are_rejected(self):
+        for value in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                format_option_value(value)
+
+    def test_dict_form_carries_what_the_grammar_cannot(self):
+        spec = SchedulerSpec("static", {"label": "has space"})
+        with pytest.raises(ValueError):
+            spec.format()
+        assert SchedulerSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestDictRoundTrip:
+    def test_to_from_dict(self):
+        spec = SchedulerSpec.parse("ga:generations=5,seed=7")
+        data = spec.to_dict()
+        assert data == {"name": "ga", "options": {"generations": 5, "seed": 7}}
+        assert SchedulerSpec.from_dict(data) == spec
+
+    def test_from_dict_accepts_spec_strings(self):
+        assert SchedulerSpec.from_dict("ga:seed=3") == SchedulerSpec.parse("ga:seed=3")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            SchedulerSpec.from_dict({"name": "ga", "optoins": {}})
+
+
+class TestResolve:
+    def test_resolves_through_the_registry(self):
+        scheduler = SchedulerSpec.parse("ga:generations=3,population_size=8,seed=1").resolve()
+        assert isinstance(scheduler, GAScheduler)
+        assert scheduler.config.generations == 3
+        assert scheduler.config.population_size == 8
+        assert scheduler.config.seed == 1
+
+    def test_bare_spec_resolves_default_instance(self):
+        assert isinstance(SchedulerSpec.parse("static").resolve(), HeuristicScheduler)
+
+    def test_unknown_scheduler_raises_key_error(self):
+        with pytest.raises(KeyError, match="no-such"):
+            SchedulerSpec.parse("no-such").resolve()
+
+    def test_rejected_option_names_the_factory(self):
+        with pytest.raises(TypeError, match="GAScheduler"):
+            SchedulerSpec.parse("ga:bogus=1").resolve()
+        with pytest.raises(TypeError, match="HeuristicScheduler"):
+            SchedulerSpec.parse("static:bogus=1").resolve()
+
+
+# -- property-based round-trip -------------------------------------------------
+
+_names = st.from_regex(r"[A-Za-z0-9_][A-Za-z0-9_-]{0,15}", fullmatch=True)
+_keys = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,15}", fullmatch=True)
+
+
+def _is_plain_string(text: str) -> bool:
+    value = parse_option_value(text)
+    return isinstance(value, str) and value == text
+
+
+_string_values = st.from_regex(r"[A-Za-z][A-Za-z0-9_.-]{0,15}", fullmatch=True).filter(
+    _is_plain_string
+)
+_values = st.one_of(
+    st.booleans(),
+    st.none(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _string_values,
+)
+_specs = st.builds(
+    SchedulerSpec,
+    name=_names,
+    options=st.dictionaries(_keys, _values, max_size=6),
+)
+
+
+@given(spec=_specs)
+def test_parse_format_round_trip(spec):
+    """parse(format(spec)) recovers the spec exactly — values, types and all."""
+    text = spec.format()
+    recovered = SchedulerSpec.parse(text)
+    assert recovered == spec
+    for (key_a, value_a), (key_b, value_b) in zip(recovered.options, spec.options):
+        assert key_a == key_b
+        assert type(value_a) is type(value_b)
+    assert recovered.format() == text
+
+
+@given(spec=_specs)
+def test_dict_round_trip(spec):
+    assert SchedulerSpec.from_dict(spec.to_dict()) == spec

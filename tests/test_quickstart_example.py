@@ -1,0 +1,28 @@
+"""Smoke test: the quickstart example must run end to end via the service."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+QUICKSTART = REPO_ROOT / "examples" / "quickstart.py"
+
+
+def test_quickstart_runs_and_reports_every_method():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(QUICKSTART)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for method in ("fps-offline", "gpiocp", "static", "ga"):
+        assert method in completed.stdout
+    assert "Explicit schedule" in completed.stdout
+    assert "ignition" in completed.stdout
