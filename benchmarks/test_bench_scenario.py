@@ -1,0 +1,68 @@
+"""Benchmarks of the scenario API: materialisation throughput and overhead.
+
+Materialisation sits on every hot path of a scenario-backed run — each sweep
+cell regenerates its system from the declarative description — so it must
+stay cheap: a content-hash seed derivation plus one synthetic-system draw and
+two small object graphs (controller, mesh).  The benchmark reports systems
+materialised per second over the registered presets, and a second case checks
+that the scenario layer costs little on top of the bare generator it wraps.
+"""
+
+import time
+
+import pytest
+
+from repro.scenario import available_scenarios, create_scenario, materialize
+from repro.taskgen import SystemGenerator
+
+#: Materialisations per benchmark round (spread over the presets).
+N_SYSTEMS = 25
+
+
+@pytest.mark.benchmark(group="scenario")
+def test_scenario_materialization_throughput(benchmark):
+    scenarios = [create_scenario(name) for name in available_scenarios()]
+
+    def materialize_all():
+        produced = []
+        for scenario in scenarios:
+            for index in range(N_SYSTEMS):
+                produced.append(materialize(scenario, index).task_set)
+        return produced
+
+    task_sets = benchmark(materialize_all)
+    assert len(task_sets) == len(scenarios) * N_SYSTEMS
+    assert all(len(task_set) > 0 for task_set in task_sets)
+
+
+@pytest.mark.benchmark(group="scenario")
+def test_materialization_overhead_vs_bare_generator(benchmark):
+    """The declarative layer adds hashing + platform building, not much more."""
+    scenario = create_scenario("paper-default")
+    workload = scenario.workload
+
+    def bare_generation():
+        return [
+            SystemGenerator(workload.generator, rng=index).generate(workload.utilisation)
+            for index in range(N_SYSTEMS)
+        ]
+
+    def declarative_generation():
+        return [materialize(scenario, index).task_set for index in range(N_SYSTEMS)]
+
+    start = time.perf_counter()
+    for _ in range(3):
+        bare = bare_generation()
+    bare_seconds = (time.perf_counter() - start) / 3
+
+    start = time.perf_counter()
+    declarative = benchmark.pedantic(declarative_generation, rounds=3, iterations=1)
+    declarative_seconds = (time.perf_counter() - start) / 3
+
+    assert len(bare) == len(declarative) == N_SYSTEMS
+    # Hashing + two small object graphs must not dwarf the generation itself;
+    # the generous factor keeps the check robust to CI timing noise.
+    assert declarative_seconds < bare_seconds * 5 + 0.05, (
+        f"materialisation took {declarative_seconds:.4f}s/round vs bare "
+        f"generation {bare_seconds:.4f}s/round"
+    )

@@ -16,6 +16,8 @@ The package provides:
 * ``repro.service`` — the batch scheduling-service API: typed
   request/response envelopes, ``"name:key=value"`` scheduler specs, a worker
   pool with a content-addressed schedule cache, and a JSONL batch CLI;
+* ``repro.scenario`` — declarative, versioned evaluation scenarios (workload
+  + platform + faults) with named presets and deterministic materialisation;
 * ``repro.experiments`` — the harness regenerating every figure and table of
   the paper's evaluation.
 """
@@ -43,6 +45,16 @@ from repro.scheduling import (
     available_schedulers,
     create_scheduler,
     register_scheduler,
+)
+from repro.scenario import (
+    FaultPlanSpec,
+    PlatformSpec,
+    Scenario,
+    WorkloadSpec,
+    available_scenarios,
+    create_scenario,
+    materialize,
+    register_scenario,
 )
 from repro.service import (
     ScheduleRequest,
@@ -79,6 +91,14 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "SchedulingService",
+    "Scenario",
+    "WorkloadSpec",
+    "PlatformSpec",
+    "FaultPlanSpec",
+    "register_scenario",
+    "create_scenario",
+    "available_scenarios",
+    "materialize",
     "SystemGenerator",
     "GeneratorConfig",
     "__version__",

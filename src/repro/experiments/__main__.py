@@ -22,7 +22,8 @@ from repro.experiments.engine import ExperimentEngine
 from repro.experiments.fig6_psi import run_fig6
 from repro.experiments.fig7_upsilon import run_fig7
 from repro.experiments.table1_resources import run_table1
-from repro.scheduling import available_schedulers, scheduler_registered
+from repro.scenario import create_scenario, format_scenario_listing
+from repro.scheduling import available_schedulers, format_scheduler_listing, scheduler_registered
 from repro.service import SchedulerSpec
 
 FIGURES = ("fig5", "fig6", "fig7", "table1", "all")
@@ -41,6 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
+        nargs="?",
         choices=FIGURES,
         help="which figure/table to regenerate ('all' runs everything; "
         "fig6 and fig7 share one accuracy sweep)",
@@ -79,6 +81,24 @@ def build_parser() -> argparse.ArgumentParser:
         "registered name or a spec string such as 'ga:generations=10' "
         "(default: every method of the figure)",
     )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="evaluate a declarative scenario instead of the default workload; "
+        "a registered preset name (see --list-scenarios) or inline "
+        "repro/scenario JSON",
+    )
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="list the registered scheduling methods and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered scenario presets and exit",
+    )
     return parser
 
 
@@ -106,15 +126,25 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     overrides = {"n_workers": args.workers, "artifact_dir": args.artifact_dir}
     if args.no_ga:
         overrides["include_ga"] = False
+    if args.scenario is not None:
+        overrides["scenario"] = create_scenario(args.scenario)
     return config.with_overrides(**overrides)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_methods or args.list_scenarios:
+        if args.list_methods:
+            print(format_scheduler_listing())
+        if args.list_scenarios:
+            print(format_scenario_listing())
+        return 0
+    if args.figure is None:
+        parser.error("a figure is required (or use --list-methods/--list-scenarios)")
     try:
         config = make_config(args)
-    except ValueError as error:
+    except (ValueError, KeyError) as error:
         parser.error(str(error))
     methods = validate_methods(parser, args.methods)
     if methods is not None and args.figure == "table1":

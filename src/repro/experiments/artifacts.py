@@ -129,12 +129,20 @@ def table1_from_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def cell_config_dict(config: ExperimentConfig) -> Dict[str, Any]:
-    """The configuration subset that determines individual cell values."""
-    return {
+    """The configuration subset that determines individual cell values.
+
+    The scenario key is only present for scenario-backed configurations, so
+    fingerprints (and therefore cell caches) of legacy configurations are
+    unchanged by the scenario API's introduction.
+    """
+    data = {
         "seed": config.seed,
         "generator": asdict(config.generator),
         "ga": asdict(config.ga),
     }
+    if config.scenario is not None:
+        data["scenario"] = config.scenario.to_dict()
+    return data
 
 
 def config_fingerprint(config: ExperimentConfig) -> str:

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
+from repro.scenario import Scenario, create_scenario
 from repro.scheduling.ga import GAConfig
 from repro.taskgen import GeneratorConfig
 
@@ -38,6 +39,11 @@ class ExperimentConfig:
     seed: int = 2020
     #: Synthetic-workload generator parameters.
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: Declarative scenario the sweeps evaluate (a :class:`~repro.scenario.Scenario`,
+    #: a registered preset name, or inline JSON).  When set, systems are drawn
+    #: from the scenario's workload (its utilisation overridden per sweep point)
+    #: and ``generator``/``seed`` no longer influence generation.
+    scenario: Optional[Union[str, Scenario]] = None
     #: GA search budget.
     ga: GAConfig = field(default_factory=lambda: GAConfig(population_size=40, generations=25))
     #: Whether to evaluate the GA at all (it dominates the run time).
@@ -53,6 +59,8 @@ class ExperimentConfig:
             raise ValueError(f"n_systems must be a positive integer, got {self.n_systems!r}")
         if not isinstance(self.n_workers, int) or self.n_workers <= 0:
             raise ValueError(f"n_workers must be a positive integer, got {self.n_workers!r}")
+        if self.scenario is not None:
+            object.__setattr__(self, "scenario", create_scenario(self.scenario))
         # Materialise before validating: a single-pass iterable (e.g. a
         # generator) would otherwise validate fine yet leave the field empty.
         for field_name in ("schedulability_utilisations", "accuracy_utilisations"):

@@ -16,7 +16,7 @@ compares the run-time timing accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -24,10 +24,16 @@ from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.task import TaskSet
 from repro.experiments.config import ExperimentConfig
-from repro.hardware.controller import IOController
-from repro.noc.network import NoCNetwork
+from repro.hardware.faults import FaultInjector
 from repro.noc.packet import Packet
-from repro.noc.topology import MeshTopology
+from repro.scenario import (
+    Platform,
+    Scenario,
+    ScenarioLike,
+    WorkloadSpec,
+    build_platform,
+    create_scenario,
+)
 from repro.service import ScheduleRequest, SchedulerSpec, SchedulingService
 from repro.sim.engine import Simulator
 from repro.taskgen import SystemGenerator
@@ -45,6 +51,8 @@ class ControllerSimResult:
     remote_cpu_upsilon: float
     mean_noc_latency: float
     max_noc_latency: int
+    faults_detected: int = 0
+    skipped_jobs: int = 0
 
     def rows(self) -> List[Dict[str, object]]:
         return [
@@ -66,23 +74,22 @@ class ControllerSimResult:
 def _remote_cpu_execution(
     task_set: TaskSet,
     schedules: Dict[str, Schedule],
+    platform: Platform,
     *,
-    mesh_width: int = 4,
-    mesh_height: int = 4,
-    background_packets_per_job: int = 2,
     seed: int = 0,
-) -> Tuple[Dict[str, Schedule], NoCNetwork]:
+) -> Dict[str, Schedule]:
     """Execute the schedule with I/O requests instigated by remote CPUs.
 
     Each job's request is injected at its offline start time from a CPU tile
-    chosen per task; background traffic shares the mesh links.  The I/O
-    operation starts when the request is delivered and the device is free.
+    chosen per task; background traffic (``background_packets_per_job`` of the
+    platform spec) shares the mesh links.  The I/O operation starts when the
+    request is delivered and the device is free.
     """
-    topology = MeshTopology(mesh_width, mesh_height)
-    network = NoCNetwork(topology)
+    network = platform.network
+    background_packets_per_job = platform.spec.background_packets_per_job
     rng = np.random.default_rng(seed)
-    io_tile = (mesh_width - 1, mesh_height - 1)
-    cpu_tiles = [node for node in topology.nodes() if node != io_tile]
+    io_tile = platform.io_tile
+    cpu_tiles = platform.cpu_tiles()
 
     cpu_of_task = {
         task.name: cpu_tiles[int(rng.integers(0, len(cpu_tiles)))] for task in task_set
@@ -114,19 +121,46 @@ def _remote_cpu_execution(
         runtime[device].add(ScheduleEntry(job=entry.job, start=start))
         device_free_at[device] = start + entry.job.wcet
 
-    return runtime, network
+    return runtime
 
 
 def run_controller_sim(
-    utilisation: float = 0.5,
+    utilisation: Optional[float] = None,
     config: Optional[ExperimentConfig] = None,
     *,
+    scenario: Optional[ScenarioLike] = None,
     seed: int = 11,
     verbose: bool = False,
 ) -> ControllerSimResult:
-    """Compare the dedicated controller against CPU-instigated I/O at run time."""
+    """Compare the dedicated controller against CPU-instigated I/O at run time.
+
+    The run is described by a scenario: the platform (controller parameters,
+    mesh dimensions, background traffic) and the fault plan come from it, and
+    its workload supplies the generator.  ``scenario`` accepts anything
+    :func:`repro.scenario.create_scenario` resolves (a preset name, inline
+    JSON, a :class:`~repro.scenario.Scenario`); by default the configuration's
+    scenario (or the paper's platform around ``config.generator``) is used.
+    ``utilisation`` overrides the scenario workload's target utilisation.
+    """
     config = config or ExperimentConfig()
-    generator = SystemGenerator(config.generator, rng=seed)
+    if scenario is not None:
+        scenario = create_scenario(scenario)
+    elif config.scenario is not None:
+        scenario = config.scenario
+    else:
+        # The historical behaviour: the paper's platform, no faults, systems
+        # drawn from the configuration's generator.
+        scenario = Scenario(
+            name="controller-sim",
+            workload=WorkloadSpec(
+                utilisation=utilisation if utilisation is not None else 0.5,
+                generator=config.generator,
+                seed=seed,
+            ),
+        )
+    if utilisation is None:
+        utilisation = scenario.workload.utilisation
+    generator = SystemGenerator(scenario.workload.generator, rng=seed)
 
     # The offline schedule is obtained through the scheduling service — the
     # same facade the sweeps and CLIs use — and rebuilt from the response's
@@ -136,7 +170,7 @@ def run_controller_sim(
     offline = None
     with SchedulingService() as service:
         for attempt in range(50):
-            candidate = generator.generate(utilisation)
+            candidate = generator.generate(utilisation, scenario.workload.n_tasks)
             response = service.submit(ScheduleRequest(task_set=candidate, spec=spec))
             if response.schedulable:
                 task_set, offline = candidate, response
@@ -148,12 +182,19 @@ def run_controller_sim(
 
     schedules = offline.device_schedules(task_set)
 
-    controller = IOController()
+    # Platform and faults are built from the scenario's declarative specs; the
+    # same description drives both execution paths.
+    platform = build_platform(
+        scenario.platform,
+        fault_injector=FaultInjector(list(scenario.faults.faults)),
+    )
+    controller = platform.controller
     controller.preload_taskset(task_set)
     controller.load_system_schedule(schedules)
     controller_run = controller.run(Simulator())
 
-    remote_schedules, network = _remote_cpu_execution(task_set, schedules, seed=seed)
+    remote_schedules = _remote_cpu_execution(task_set, schedules, platform, seed=seed)
+    network = platform.network
 
     result = ControllerSimResult(
         offline_psi=offline.psi,
@@ -164,16 +205,23 @@ def run_controller_sim(
         remote_cpu_upsilon=aggregate_upsilon(remote_schedules.values()),
         mean_noc_latency=network.mean_latency(kind="io-request"),
         max_noc_latency=network.max_latency(kind="io-request"),
+        faults_detected=controller_run.faults_detected,
+        skipped_jobs=controller_run.skipped_jobs,
     )
     if verbose:
         from repro.experiments.stats import format_table
 
-        print("Run-time execution of the offline schedule")
+        print(f"Run-time execution of the offline schedule (scenario: {scenario.name})")
         print(format_table(result.rows()))
         print(
             f"NoC request latency: mean {result.mean_noc_latency:.1f}, "
             f"max {result.max_noc_latency}"
         )
+        if len(scenario.faults):
+            print(
+                f"faults injected: {len(scenario.faults)}, detected: "
+                f"{result.faults_detected}, jobs skipped: {result.skipped_jobs}"
+            )
     return result
 
 

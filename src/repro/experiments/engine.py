@@ -33,6 +33,7 @@ from repro.experiments.artifacts import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import AccuracySweepResult, SweepResult
 from repro.experiments.stats import mean
+from repro.scenario import Scenario, materialize
 
 # Back-compat re-export: the adapter now lives with the other schedulers, so
 # ``create_scheduler("fps-online")`` works without importing the experiments
@@ -113,10 +114,30 @@ def cell_seed(config: ExperimentConfig, utilisation: float, system_index: int) -
     return config.seed + int(round(utilisation * 100)) * 10_000 + system_index
 
 
+def cell_scenario(config: ExperimentConfig, utilisation: float) -> Scenario:
+    """The configured scenario with the cell's utilisation pinned.
+
+    Only valid for scenario-backed configurations; the pinned-utilisation copy
+    is what both system generation and the cell's schedule request use, so the
+    two always agree on which synthetic system the cell evaluates.
+    """
+    assert config.scenario is not None
+    return config.scenario.with_utilisation(utilisation)
+
+
 def generate_system(
     config: ExperimentConfig, utilisation: float, system_index: int
 ) -> TaskSet:
-    """Regenerate the synthetic system of one cell (pure in its arguments)."""
+    """Regenerate the synthetic system of one cell (pure in its arguments).
+
+    Scenario-backed configurations draw from the scenario's workload (with the
+    sweep utilisation pinned); legacy configurations keep the historical
+    ``seed``/``generator`` derivation, so existing cell caches stay valid.
+    """
+    if config.scenario is not None:
+        return materialize(
+            config.scenario, system_index, utilisation=utilisation
+        ).task_set
     seed = cell_seed(config, utilisation, system_index)
     return SystemGenerator(config.generator, rng=seed).generate(utilisation)
 
@@ -147,10 +168,20 @@ def evaluate_cell(config: ExperimentConfig, job: EvalJob) -> CellResult:
 
     Cells execute through the scheduling service's pure request path
     (:func:`repro.service.execute_request`), so a sweep cell and a direct
-    service request with the same content are the same computation.
+    service request with the same content are the same computation.  With a
+    scenario-backed configuration the request itself is scenario-backed — the
+    worker materialises the system from the declarative description, exactly
+    as a direct ``--scenario`` service request would.
     """
-    task_set = generate_system(config, job.utilisation, job.system_index)
-    request = ScheduleRequest(task_set=task_set, spec=cell_spec(config, job))
+    if config.scenario is not None:
+        request = ScheduleRequest(
+            scenario=cell_scenario(config, job.utilisation),
+            system_index=job.system_index,
+            spec=cell_spec(config, job),
+        )
+    else:
+        task_set = generate_system(config, job.utilisation, job.system_index)
+        request = ScheduleRequest(task_set=task_set, spec=cell_spec(config, job))
     response = execute_request(request)
     return CellResult(
         schedulable=response.schedulable,

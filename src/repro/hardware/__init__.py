@@ -20,7 +20,7 @@ from repro.hardware.channels import ChannelMessage, RequestChannel, ResponseChan
 from repro.hardware.controller import ControllerRunResult, IOController
 from repro.hardware.devices import CANDevice, GPIOPin, IODevice, SPIDevice, UARTDevice
 from repro.hardware.execution import ExecutionUnit, FaultRecoveryUnit, Synchroniser
-from repro.hardware.faults import FaultInjector, FaultSpec
+from repro.hardware.faults import FAULT_KINDS, FaultInjector, FaultSpec
 from repro.hardware.library import PrimitiveLibrary, ResourceCost
 from repro.hardware.memory import ControllerMemory, IOCommand, MemoryCapacityError
 from repro.hardware.processor import ControllerProcessor
@@ -56,6 +56,7 @@ __all__ = [
     "CANDevice",
     "FaultInjector",
     "FaultSpec",
+    "FAULT_KINDS",
     "ResourceCost",
     "PrimitiveLibrary",
     "HardwareDesign",

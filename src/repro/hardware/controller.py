@@ -29,6 +29,7 @@ from repro.hardware.devices import GPIOPin, IODevice
 from repro.hardware.faults import FaultInjector
 from repro.hardware.memory import ControllerMemory, IOCommand
 from repro.hardware.processor import ControllerProcessor
+from repro.hardware.timer import GlobalTimer
 from repro.sim.engine import Simulator
 
 #: Builds the command sequence of a task; the default is a single GPIO write
@@ -96,6 +97,7 @@ class IOController:
         request_latency: int = 1,
         response_latency: int = 1,
         missing_request_policy: str = "skip",
+        timer_resolution: int = 1,
         fault_injector: Optional[FaultInjector] = None,
         device_factory: Optional[Callable[[str], IODevice]] = None,
     ):
@@ -104,6 +106,7 @@ class IOController:
         self.request_latency = request_latency
         self.response_latency = response_latency
         self.missing_request_policy = missing_request_policy
+        self.timer_resolution = timer_resolution
         self.fault_injector = fault_injector or FaultInjector()
         self.device_factory = device_factory or (lambda name: GPIOPin(name))
         self.processors: Dict[str, ControllerProcessor] = {}
@@ -135,6 +138,7 @@ class IOController:
                 response_latency=self.response_latency,
                 fault_injector=self.fault_injector,
                 missing_request_policy=self.missing_request_policy,
+                timer=GlobalTimer(resolution=self.timer_resolution),
             )
         return self.processors[device_name]
 

@@ -12,12 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+#: The fault kinds the fault-recovery unit understands.  Public so that
+#: declarative layers (fault plans in :mod:`repro.scenario`, CLIs, docs) can
+#: validate and enumerate without reaching into :class:`FaultSpec` internals.
+FAULT_KINDS: Tuple[str, ...] = ("missing-request", "late-request", "corrupted-command")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
     """Description of one injected fault.
 
-    ``kind`` is one of:
+    ``kind`` is validated against :data:`FAULT_KINDS` at construction:
 
     * ``"missing-request"`` — the enable request for a task is never delivered;
     * ``"late-request"`` — the enable request arrives ``delay`` time units after
@@ -31,12 +36,12 @@ class FaultSpec:
     job_index: Optional[int] = None
     delay: int = 0
 
-    _VALID_KINDS = ("missing-request", "late-request", "corrupted-command")
+    _VALID_KINDS = FAULT_KINDS  # backwards-compatible alias
 
     def __post_init__(self) -> None:
-        if self.kind not in self._VALID_KINDS:
+        if self.kind not in FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of {self._VALID_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
         if self.delay < 0:
             raise ValueError("fault delay must be non-negative")

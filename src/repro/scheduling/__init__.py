@@ -28,7 +28,9 @@ from repro.scheduling.dependency_graph import (
 from repro.scheduling.registry import (
     available_schedulers,
     create_scheduler,
+    format_scheduler_listing,
     get_scheduler_factory,
+    list_schedulers,
     register_scheduler,
     scheduler_registered,
     unregister_scheduler,
@@ -56,6 +58,8 @@ __all__ = [
     "unregister_scheduler",
     "create_scheduler",
     "get_scheduler_factory",
+    "list_schedulers",
+    "format_scheduler_listing",
     "scheduler_registered",
     "available_schedulers",
     "LCCDAllocator",

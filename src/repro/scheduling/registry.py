@@ -91,6 +91,21 @@ def available_schedulers() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def list_schedulers() -> Dict[str, str]:
+    """Every registered scheduler name mapped to its factory's identity.
+
+    Aliases appear as their own entries (pointing at the same factory), so the
+    mapping answers both "what can I pass as a method?" and "which of these
+    are the same thing?".  This is what the CLIs print for ``--list-methods``.
+    """
+    return {name: _describe_factory(_REGISTRY[name]) for name in available_schedulers()}
+
+
+def format_scheduler_listing() -> str:
+    """The ``--list-methods`` text both CLIs print: one ``name  factory`` line each."""
+    return "\n".join(f"{name:<16} {factory}" for name, factory in list_schedulers().items())
+
+
 def get_scheduler_factory(name: str) -> Callable[..., Any]:
     """The raw factory registered under ``name`` (for introspection/tests)."""
     try:

@@ -5,6 +5,10 @@ Reads schedule requests (one versioned JSON payload per line, see
 :class:`repro.service.SchedulingService`, and writes the responses — one
 versioned JSON payload per line, in request order — to stdout or ``--output``.
 
+Alternatively ``--scenario`` builds the batch declaratively: requests are
+generated from a named (or inline-JSON) scenario for ``--systems`` system
+indices and each ``--methods`` spec, with no request file at all.
+
 Examples::
 
     # Schedule a request file on four workers with a persistent cache
@@ -12,6 +16,10 @@ Examples::
 
     # Pipe mode: requests on stdin, responses on stdout
     python -m repro.service - < requests.jsonl > responses.jsonl
+
+    # Declarative mode: schedule 3 systems of a preset scenario two ways
+    python -m repro.service --scenario faulty-controller --systems 3 \
+        --methods static gpiocp -o responses.jsonl
 
 Re-running the same requests against a populated ``--cache-dir`` recomputes
 nothing: every response comes back flagged ``cache: hit``.
@@ -24,8 +32,11 @@ import json
 import sys
 from typing import List, Optional, Sequence, TextIO
 
+from repro.scenario import create_scenario, format_scenario_listing
+from repro.scheduling import format_scheduler_listing
 from repro.service.messages import ScheduleRequest
 from repro.service.service import SchedulingService
+from repro.service.spec import SchedulerSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +46,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "input",
+        nargs="?",
+        default=None,
         help="request JSONL file ('-' reads stdin); one versioned "
-        "repro/schedule-request payload per line",
+        "repro/schedule-request payload per line.  Omit when using --scenario",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="generate the request batch from a scenario (a registered preset "
+        "name, see --list-scenarios, or inline repro/scenario JSON) instead "
+        "of reading a request file",
+    )
+    parser.add_argument(
+        "--systems",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --scenario: schedule system indices 0..N-1 (default: 1)",
+    )
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=["static"],
+        metavar="SPEC",
+        help="with --scenario: scheduler spec strings to evaluate per system "
+        "(default: static)",
+    )
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="list the registered scheduling methods and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered scenario presets and exit",
     )
     parser.add_argument(
         "-o",
@@ -62,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def scenario_requests(
+    scenario_ref: str, methods: Sequence[str], n_systems: int
+) -> List[ScheduleRequest]:
+    """Build the declarative request batch of ``--scenario`` mode."""
+    scenario = create_scenario(scenario_ref)
+    requests = []
+    for system_index in range(n_systems):
+        for method in methods:
+            spec = SchedulerSpec.parse(method)
+            requests.append(
+                ScheduleRequest(
+                    scenario=scenario,
+                    system_index=system_index,
+                    spec=spec,
+                    request_id=f"{scenario.name}/{system_index}/{spec}",
+                )
+            )
+    return requests
+
+
 def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
     requests: List[ScheduleRequest] = []
     for line_number, line in enumerate(handle, start=1):
@@ -78,10 +144,25 @@ def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_methods or args.list_scenarios:
+        if args.list_methods:
+            print(format_scheduler_listing())
+        if args.list_scenarios:
+            print(format_scenario_listing())
+        return 0
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if (args.input is None) == (args.scenario is None):
+        parser.error("provide exactly one of an input file and --scenario")
+    if args.systems < 1:
+        parser.error(f"--systems must be >= 1, got {args.systems}")
 
-    if args.input == "-":
+    if args.scenario is not None:
+        try:
+            requests = scenario_requests(args.scenario, args.methods, args.systems)
+        except (ValueError, KeyError) as error:
+            parser.error(f"--scenario: {error}")
+    elif args.input == "-":
         requests = read_requests(sys.stdin, source="<stdin>")
     else:
         with open(args.input, "r", encoding="utf-8") as handle:

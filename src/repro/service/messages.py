@@ -35,10 +35,13 @@ from repro.core.serialization import (
     versioned_payload,
 )
 from repro.core.task import TaskSet
+from repro.scenario import Scenario, create_scenario, materialize
 from repro.service.spec import SchedulerSpec
 
 REQUEST_KIND = "repro/schedule-request"
-REQUEST_VERSION = 1
+#: Version 2 added scenario-backed requests; requests without a scenario are
+#: still written as version 1 so that version-1 readers keep working.
+REQUEST_VERSION = 2
 RESPONSE_KIND = "repro/schedule-response"
 RESPONSE_VERSION = 1
 
@@ -52,24 +55,74 @@ CACHE_DISABLED = "disabled"
 class ScheduleRequest:
     """One question to the scheduling service: *schedule this, with that*.
 
+    The workload is given either explicitly (``task_set``) or declaratively
+    (``scenario`` — a :class:`~repro.scenario.Scenario`, a registered preset
+    name, a payload dict, or inline JSON — plus a ``system_index`` selecting
+    which of the scenario's deterministic systems to draw); exactly one of the
+    two must be provided.  Scenario-backed requests materialise their task set
+    lazily via :meth:`effective_task_set`.
+
     ``horizon`` (microseconds) defaults to the task set's hyper-period, as in
     :meth:`Scheduler.schedule_taskset <repro.scheduling.base.Scheduler>`.
     ``request_id`` is free-form caller provenance echoed on the response; it
     does not influence scheduling or caching.
     """
 
-    task_set: TaskSet
-    spec: SchedulerSpec
+    task_set: Optional[TaskSet] = None
+    spec: Optional[SchedulerSpec] = None
     horizon: Optional[int] = None
     request_id: Optional[str] = None
+    scenario: Optional[Scenario] = None
+    system_index: int = 0
 
     def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ValueError("a scheduler spec is required")
         object.__setattr__(self, "spec", SchedulerSpec.coerce(self.spec))
+        if self.scenario is not None:
+            object.__setattr__(self, "scenario", create_scenario(self.scenario))
+        if (self.task_set is None) == (self.scenario is None):
+            raise ValueError("provide exactly one of task_set and scenario")
+        if not isinstance(self.system_index, int) or self.system_index < 0:
+            raise ValueError(
+                f"system_index must be a non-negative integer, got {self.system_index!r}"
+            )
+        if self.scenario is None and self.system_index != 0:
+            raise ValueError("system_index requires a scenario")
         if self.horizon is not None and self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon!r}")
 
+    def effective_task_set(self) -> TaskSet:
+        """The concrete task set: the explicit one, or the scenario's system.
+
+        Materialisation is deterministic (pure in the scenario content and the
+        system index), so the result is memoised on the request.
+        """
+        if self.task_set is not None:
+            return self.task_set
+        cached = getattr(self, "_materialized_task_set", None)
+        if cached is None:
+            cached = materialize(self.scenario, self.system_index).task_set
+            object.__setattr__(self, "_materialized_task_set", cached)
+        return cached
+
     def content_key(self) -> str:
-        """Content-address of the scheduling question (excludes ``request_id``)."""
+        """Content-address of the scheduling question (excludes ``request_id``).
+
+        Scenario-backed requests hash the scenario's own content key (which
+        covers every scenario field) plus the system index, so changing *any*
+        scenario field — workload, platform, faults, even the name — yields a
+        different key and therefore a cache miss.
+        """
+        if self.scenario is not None:
+            return content_hash(
+                {
+                    "scenario": self.scenario.content_key(),
+                    "system_index": self.system_index,
+                    "spec": self.spec.to_dict(),
+                    "horizon": self.horizon,
+                }
+            )
         return content_hash(
             {
                 "taskset": taskset_to_dict(self.task_set),
@@ -81,27 +134,35 @@ class ScheduleRequest:
     # -- serialisation -----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return versioned_payload(
-            REQUEST_KIND,
-            REQUEST_VERSION,
-            {
-                "id": self.request_id,
-                "spec": self.spec.to_dict(),
-                "horizon": self.horizon,
-                "taskset": taskset_to_dict(self.task_set),
-            },
-        )
+        data: Dict[str, Any] = {
+            "id": self.request_id,
+            "spec": self.spec.to_dict(),
+            "horizon": self.horizon,
+        }
+        if self.scenario is not None:
+            data["scenario"] = self.scenario.to_dict()
+            data["system_index"] = self.system_index
+            return versioned_payload(REQUEST_KIND, REQUEST_VERSION, data)
+        # Requests without a scenario serialise exactly as version 1 did, so
+        # payloads only claim the newer version when they actually need it.
+        data["taskset"] = taskset_to_dict(self.task_set)
+        return versioned_payload(REQUEST_KIND, 1, data)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScheduleRequest":
         _, data = parse_versioned_payload(
             dict(payload), REQUEST_KIND, max_version=REQUEST_VERSION
         )
+        scenario = data.get("scenario")
         return cls(
-            task_set=taskset_from_dict(data["taskset"]),
+            task_set=(
+                taskset_from_dict(data["taskset"]) if data.get("taskset") is not None else None
+            ),
             spec=SchedulerSpec.from_dict(data["spec"]),
             horizon=data.get("horizon"),
             request_id=data.get("id"),
+            scenario=Scenario.from_dict(scenario) if scenario is not None else None,
+            system_index=int(data.get("system_index", 0)),
         )
 
     def to_json(self) -> str:

@@ -97,7 +97,8 @@ def ga_best_objectives(result: SystemScheduleResult) -> Tuple[float, float]:
 def _effective_horizon(request: ScheduleRequest) -> int:
     if request.horizon is not None:
         return request.horizon
-    return request.task_set.hyperperiod() if len(request.task_set) else 0
+    task_set = request.effective_task_set()
+    return task_set.hyperperiod() if len(task_set) else 0
 
 
 def build_response(
@@ -123,6 +124,7 @@ def build_response(
             elapsed_s=elapsed_s,
         )
 
+    task_set = request.effective_task_set()
     per_device: Dict[str, Dict[str, Any]] = {}
     for device, device_result in result.per_device.items():
         schedule = device_result.schedule
@@ -137,7 +139,7 @@ def build_response(
             "upsilon": device_result.upsilon,
             "n_jobs": device_result.metrics.n_jobs,
             "schedule": (
-                schedule_to_dict(schedule, request.task_set) if schedule is not None else None
+                schedule_to_dict(schedule, task_set) if schedule is not None else None
             ),
             "info": info,
         }
@@ -166,10 +168,11 @@ def execute_request(request: ScheduleRequest) -> ScheduleResponse:
     start = time.perf_counter()
     spec = effective_spec(request)
     scheduler = spec.resolve()
+    task_set = request.effective_task_set()
     if request.horizon is None:
-        result = scheduler.schedule_taskset(request.task_set)
+        result = scheduler.schedule_taskset(task_set)
     else:
-        result = scheduler.schedule_taskset(request.task_set, request.horizon)
+        result = scheduler.schedule_taskset(task_set, request.horizon)
     produces_schedule = bool(getattr(scheduler, "produces_schedule", True))
     elapsed = time.perf_counter() - start
     return build_response(

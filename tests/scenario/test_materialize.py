@@ -1,0 +1,133 @@
+"""Determinism and worker-invariance tests for scenario materialisation."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.serialization import taskset_to_dict
+from repro.hardware.devices import CANDevice, GPIOPin, SPIDevice, UARTDevice
+from repro.scenario import (
+    FaultPlanSpec,
+    FaultSpec,
+    Scenario,
+    WorkloadSpec,
+    available_scenarios,
+    build_platform,
+    create_scenario,
+    materialize,
+    system_seed,
+)
+
+
+def _materialized_taskset_dict(args):
+    """Worker helper: materialise in a separate process (top-level, picklable)."""
+    scenario_json, system_index = args
+    scenario = Scenario.from_json(scenario_json)
+    return taskset_to_dict(materialize(scenario, system_index).task_set)
+
+
+class TestDeterminism:
+    def test_every_preset_materializes_deterministically(self):
+        for name in available_scenarios():
+            scenario = create_scenario(name)
+            first = materialize(scenario, 0)
+            second = materialize(scenario, 0)
+            assert taskset_to_dict(first.task_set) == taskset_to_dict(second.task_set)
+            assert first.seed == second.seed == system_seed(scenario, 0)
+
+    def test_system_indices_draw_distinct_systems(self):
+        scenario = create_scenario("paper-default")
+        sets = [taskset_to_dict(materialize(scenario, i).task_set) for i in range(3)]
+        assert sets[0] != sets[1] and sets[1] != sets[2]
+
+    def test_any_field_change_decorrelates_the_draw(self):
+        base = Scenario(name="base")
+        renamed = Scenario(name="renamed")
+        assert system_seed(base, 0) != system_seed(renamed, 0)
+        assert taskset_to_dict(materialize(base, 0).task_set) != taskset_to_dict(
+            materialize(renamed, 0).task_set
+        )
+
+    def test_utilisation_override_equals_pinned_field(self):
+        scenario = create_scenario("paper-default")
+        overridden = materialize(scenario, 1, utilisation=0.7)
+        pinned = materialize(scenario.with_utilisation(0.7), 1)
+        assert taskset_to_dict(overridden.task_set) == taskset_to_dict(pinned.task_set)
+        assert overridden.seed == pinned.seed
+
+    def test_negative_system_index_is_rejected(self):
+        with pytest.raises(ValueError, match="system_index"):
+            materialize(Scenario(name="x"), -1)
+
+
+class TestWorkerInvariance:
+    def test_materialize_is_bit_identical_across_process_pools(self):
+        """The acceptance property: same draw in-process and on any worker."""
+        scenarios = [create_scenario("paper-default"), create_scenario("faulty-controller")]
+        jobs = [(scenario.to_json(), index) for scenario in scenarios for index in range(3)]
+        local = [_materialized_taskset_dict(job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_materialized_taskset_dict, jobs))
+        assert local == remote
+
+
+class TestPlatformBuilding:
+    def test_materialize_unpacks_as_the_documented_triple(self):
+        scenario = create_scenario("faulty-controller")
+        task_set, platform, faults = materialize(scenario, 0)
+        assert len(task_set) > 0
+        assert platform.spec == scenario.platform
+        assert len(faults) == len(scenario.faults)
+        # The controller shares the run's fault injector.
+        assert platform.controller.fault_injector is faults
+
+    def test_mesh_and_tiles_follow_the_spec(self):
+        platform = build_platform(create_scenario("wide-noc").platform)
+        assert platform.topology.width == 8 and platform.topology.height == 8
+        assert platform.io_tile == (7, 7)
+        assert len(platform.cpu_tiles()) == 63
+        assert platform.io_tile not in platform.cpu_tiles()
+
+    @pytest.mark.parametrize(
+        "device_type,device_cls",
+        [("gpio", GPIOPin), ("uart", UARTDevice), ("spi", SPIDevice), ("can", CANDevice)],
+    )
+    def test_device_type_selects_the_device_model(self, device_type, device_cls):
+        scenario = Scenario(name="dev").with_platform(device_type=device_type)
+        platform = build_platform(scenario.platform)
+        assert isinstance(platform.controller.device_factory("d0"), device_cls)
+
+    def test_timer_resolution_reaches_the_controller_processors(self):
+        scenario = Scenario(name="coarse").with_platform(timer_resolution=4)
+        _, platform, _ = materialize(scenario, 0)
+        assert platform.controller.timer_resolution == 4
+        processor = platform.controller._ensure_processor("dev0")
+        assert processor.timer.resolution == 4
+
+    def test_platforms_are_fresh_per_materialization(self):
+        scenario = Scenario(name="fresh")
+        first = materialize(scenario, 0)
+        second = materialize(scenario, 0)
+        assert first.platform.controller is not second.platform.controller
+        assert first.platform.network is not second.platform.network
+        assert first.faults is not second.faults
+
+
+class TestFaultPlanMaterialisation:
+    def test_fault_injector_carries_the_declared_faults(self):
+        scenario = Scenario(name="f").with_faults(
+            [FaultSpec(kind="late-request", task_name="tau0", delay=5)]
+        )
+        _, _, faults = materialize(scenario, 0)
+        assert faults.has("late-request", "tau0")
+        assert not faults.has("missing-request", "tau0")
+
+    def test_empty_plan_materialises_an_empty_injector(self):
+        scenario = Scenario(name="clean", faults=FaultPlanSpec())
+        _, _, faults = materialize(scenario, 0)
+        assert len(faults) == 0
+
+    def test_workload_spec_controls_task_count(self):
+        scenario = Scenario(name="n", workload=WorkloadSpec(utilisation=0.4, n_tasks=7))
+        task_set, _, _ = materialize(scenario, 0)
+        assert len(task_set) == 7

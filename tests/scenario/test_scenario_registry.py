@@ -1,0 +1,101 @@
+"""Tests for the scenario registry and its built-in presets."""
+
+import pytest
+
+from repro.scenario import (
+    PRESET_SCENARIOS,
+    Scenario,
+    available_scenarios,
+    create_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_registered,
+    unregister_scenario,
+)
+
+
+class TestPresets:
+    def test_all_documented_presets_are_registered(self):
+        assert set(PRESET_SCENARIOS) == set(available_scenarios())
+        assert set(PRESET_SCENARIOS) == {
+            "paper-default",
+            "paper-scale",
+            "short-hyperperiod",
+            "bursty-periods",
+            "faulty-controller",
+            "wide-noc",
+        }
+
+    def test_presets_resolve_named_and_described(self):
+        for name in available_scenarios():
+            scenario = create_scenario(name)
+            assert isinstance(scenario, Scenario)
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_list_scenarios_maps_names_to_descriptions(self):
+        listing = list_scenarios()
+        assert set(listing) == set(available_scenarios())
+        assert all(isinstance(text, str) for text in listing.values())
+
+    def test_presets_have_distinct_content_keys(self):
+        keys = [create_scenario(name).content_key() for name in available_scenarios()]
+        assert len(set(keys)) == len(keys)
+
+    def test_faulty_controller_carries_all_three_kinds(self):
+        scenario = create_scenario("faulty-controller")
+        kinds = {fault.kind for fault in scenario.faults.faults}
+        assert kinds == {"missing-request", "late-request", "corrupted-command"}
+
+
+class TestCreateScenario:
+    def test_accepts_a_ready_scenario(self):
+        scenario = Scenario(name="mine")
+        assert create_scenario(scenario) is scenario
+
+    def test_accepts_inline_json_and_payload_dicts(self):
+        scenario = create_scenario("short-hyperperiod")
+        assert create_scenario(scenario.to_json()) == scenario
+        assert create_scenario(scenario.to_dict()) == scenario
+
+    def test_unknown_name_lists_the_presets(self):
+        with pytest.raises(KeyError, match="paper-default"):
+            create_scenario("no-such-scenario")
+
+    def test_invalid_json_is_a_value_error(self):
+        with pytest.raises(ValueError, match="JSON"):
+            create_scenario("{not json")
+
+    def test_non_string_refs_are_rejected(self):
+        with pytest.raises(TypeError):
+            create_scenario(42)
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        scenario = Scenario(name="ephemeral")
+        register_scenario("ephemeral", scenario)
+        try:
+            assert scenario_registered("ephemeral")
+            assert create_scenario("ephemeral") == scenario
+        finally:
+            unregister_scenario("ephemeral")
+        assert not scenario_registered("ephemeral")
+
+    def test_duplicate_names_are_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("paper-default", Scenario(name="usurper"))
+
+    def test_decorator_form_registers_factories(self):
+        @register_scenario("ephemeral-factory")
+        def _build() -> Scenario:
+            return Scenario(name="ephemeral-factory")
+
+        try:
+            assert create_scenario("ephemeral-factory").name == "ephemeral-factory"
+        finally:
+            unregister_scenario("ephemeral-factory")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            unregister_scenario("never-registered")

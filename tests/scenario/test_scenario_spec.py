@@ -1,0 +1,228 @@
+"""Unit and property tests for the declarative Scenario model."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import FAULT_KINDS, FaultSpec
+from repro.scenario import (
+    DEVICE_TYPES,
+    MISSING_REQUEST_POLICIES,
+    SCENARIO_KIND,
+    FaultPlanSpec,
+    PlatformSpec,
+    Scenario,
+    WorkloadSpec,
+)
+from repro.taskgen import GeneratorConfig
+
+
+class TestWorkloadSpec:
+    def test_defaults_match_the_paper(self):
+        workload = WorkloadSpec()
+        assert workload.generator == GeneratorConfig()
+        assert workload.n_tasks is None
+        assert workload.utilisation == 0.5
+
+    def test_generator_accepts_plain_dicts(self):
+        workload = WorkloadSpec(generator={"hyperperiod_ms": 720})
+        assert workload.generator == GeneratorConfig(hyperperiod_ms=720)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"utilisation": 0.0},
+            {"utilisation": -0.3},
+            {"utilisation": "high"},
+            {"n_tasks": 0},
+            {"seed": -1},
+            {"generator": {"not_a_field": 1}},
+        ],
+    )
+    def test_invalid_values_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestPlatformSpec:
+    def test_io_tile_is_the_far_corner(self):
+        assert PlatformSpec(mesh_width=5, mesh_height=3).io_tile == (4, 2)
+
+    def test_unknown_device_type_names_the_valid_set(self):
+        with pytest.raises(ValueError, match="gpio"):
+            PlatformSpec(device_type="fpga")
+        assert set(DEVICE_TYPES) == {"gpio", "uart", "spi", "can"}
+
+    def test_unknown_policy_names_the_valid_set(self):
+        with pytest.raises(ValueError, match="skip"):
+            PlatformSpec(missing_request_policy="retry")
+        assert set(MISSING_REQUEST_POLICIES) == {"skip", "execute"}
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"mesh_width": 0}, {"memory_kb": -1}, {"flit_delay": -2}]
+    )
+    def test_invalid_dimensions_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PlatformSpec(**kwargs)
+
+    def test_single_node_meshes_are_rejected(self):
+        """A mesh needs a CPU tile besides the I/O tile; 1x1 cannot work."""
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            PlatformSpec(mesh_width=1, mesh_height=1)
+        PlatformSpec(mesh_width=2, mesh_height=1)  # smallest valid mesh
+
+
+class TestFaultPlan:
+    def test_kind_is_validated_naming_the_valid_set(self):
+        """The three known kinds are enforced at FaultSpec construction."""
+        with pytest.raises(ValueError, match="missing-request"):
+            FaultSpec(kind="nonsense", task_name="tau0")
+        assert FAULT_KINDS == ("missing-request", "late-request", "corrupted-command")
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind, task_name="tau0")  # does not raise
+
+    def test_plan_coerces_dict_entries(self):
+        plan = FaultPlanSpec(faults=({"kind": "late-request", "task_name": "a", "delay": 2},))
+        assert plan.faults == (FaultSpec(kind="late-request", task_name="a", delay=2),)
+        assert len(plan) == 1
+
+    def test_plan_rejects_non_fault_entries(self):
+        with pytest.raises(ValueError):
+            FaultPlanSpec(faults=("missing-request",))
+
+
+class TestScenario:
+    def test_payload_is_versioned(self):
+        payload = Scenario(name="x").to_dict()
+        assert payload["kind"] == SCENARIO_KIND
+        assert payload["version"] == 1
+
+    def test_sub_specs_coerce_from_dicts_and_tuples(self):
+        scenario = Scenario(
+            name="inline",
+            workload={"utilisation": 0.3},
+            platform={"mesh_width": 2},
+            faults=[FaultSpec(kind="missing-request", task_name="tau0")],
+        )
+        assert scenario.workload == WorkloadSpec(utilisation=0.3)
+        assert scenario.platform == PlatformSpec(mesh_width=2)
+        assert len(scenario.faults) == 1
+
+    def test_bad_name_is_rejected(self):
+        for name in ("", "  padded  ", 42):
+            with pytest.raises(ValueError):
+                Scenario(name=name)
+
+    def test_with_helpers_derive_frozen_copies(self):
+        base = Scenario(name="base")
+        derived = base.with_utilisation(0.8).with_platform(mesh_width=6)
+        assert derived.workload.utilisation == 0.8
+        assert derived.platform.mesh_width == 6
+        assert base.workload.utilisation == 0.5  # original untouched
+
+    def test_content_key_covers_every_field(self):
+        base = Scenario(name="base")
+        variants = [
+            Scenario(name="other"),
+            Scenario(name="base", description="d"),
+            base.with_utilisation(0.51),
+            base.with_workload(seed=1),
+            base.with_workload(generator=GeneratorConfig(hyperperiod_ms=720)),
+            base.with_platform(flit_delay=2),
+            base.with_faults([FaultSpec(kind="missing-request", task_name="tau0")]),
+        ]
+        keys = {base.content_key()} | {v.content_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_newer_version_is_refused(self):
+        payload = Scenario(name="x").to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            Scenario.from_dict(payload)
+
+    def test_unknown_fields_are_rejected(self):
+        payload = Scenario(name="x").to_dict()
+        payload["data"]["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            Scenario.from_dict(payload)
+
+
+# -- property-based round-trip -------------------------------------------------
+
+_generators = st.builds(
+    GeneratorConfig,
+    hyperperiod_ms=st.sampled_from([360, 720, 1440]),
+    min_period_ms=st.sampled_from([10, 48]),
+    max_period_ms=st.sampled_from([None, 480, 1440]),
+    utilisation_per_task=st.sampled_from([0.05, 0.1]),
+    theta_divisor=st.sampled_from([3, 4]),
+    max_task_utilisation=st.sampled_from([0.25, 1 / 3]),
+    v_min=st.sampled_from([1.0, 2.0]),
+    n_devices=st.integers(min_value=1, max_value=4),
+    device_prefix=st.sampled_from(["dev", "io"]),
+    task_prefix=st.sampled_from(["tau", "t"]),
+)
+
+_workloads = st.builds(
+    WorkloadSpec,
+    utilisation=st.floats(min_value=0.05, max_value=0.95),
+    n_tasks=st.one_of(st.none(), st.integers(min_value=1, max_value=40)),
+    generator=_generators,
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+_platforms = st.builds(
+    PlatformSpec,
+    memory_kb=st.integers(min_value=1, max_value=128),
+    request_latency=st.integers(min_value=0, max_value=5),
+    response_latency=st.integers(min_value=0, max_value=5),
+    missing_request_policy=st.sampled_from(MISSING_REQUEST_POLICIES),
+    timer_resolution=st.integers(min_value=1, max_value=4),
+    device_type=st.sampled_from(DEVICE_TYPES),
+    mesh_width=st.integers(min_value=2, max_value=8),
+    mesh_height=st.integers(min_value=1, max_value=8),
+    routing_delay=st.integers(min_value=0, max_value=4),
+    flit_delay=st.integers(min_value=0, max_value=4),
+    injection_delay=st.integers(min_value=0, max_value=4),
+    ejection_delay=st.integers(min_value=0, max_value=4),
+    background_packets_per_job=st.integers(min_value=0, max_value=8),
+)
+
+_faults = st.lists(
+    st.builds(
+        FaultSpec,
+        kind=st.sampled_from(FAULT_KINDS),
+        task_name=st.sampled_from(["tau0", "tau1", "tau2"]),
+        job_index=st.one_of(st.none(), st.integers(min_value=0, max_value=9)),
+        delay=st.integers(min_value=0, max_value=20),
+    ),
+    max_size=4,
+).map(lambda faults: FaultPlanSpec(faults=tuple(faults)))
+
+_scenarios = st.builds(
+    Scenario,
+    name=st.from_regex(r"[A-Za-z][A-Za-z0-9_.-]{0,15}", fullmatch=True),
+    description=st.text(max_size=40),
+    workload=_workloads,
+    platform=_platforms,
+    faults=_faults,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=_scenarios)
+def test_json_round_trip_is_lossless(scenario):
+    """parse(format(s)) == s over randomised Scenario trees."""
+    recovered = Scenario.from_json(scenario.to_json())
+    assert recovered == scenario
+    assert recovered.content_key() == scenario.content_key()
+    # The round-trip survives an actual JSON re-serialisation as well.
+    assert Scenario.from_dict(json.loads(scenario.to_json(indent=2))) == scenario
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=_scenarios)
+def test_scenarios_are_hashable_and_key_stable(scenario):
+    assert hash(scenario) == hash(Scenario.from_json(scenario.to_json()))
+    assert scenario.content_key() == scenario.content_key()

@@ -11,6 +11,7 @@ from repro.scheduling import (
     available_schedulers,
     create_scheduler,
     get_scheduler_factory,
+    list_schedulers,
     register_scheduler,
     scheduler_registered,
     unregister_scheduler,
@@ -144,3 +145,23 @@ class TestRegistration:
         with pytest.raises(ValueError, match="already registered"):
             register_scheduler("test-partial", lambda: 1, aliases=("fps",))
         assert not scheduler_registered("test-partial")
+
+
+class TestListSchedulers:
+    def test_covers_every_registered_name(self):
+        listing = list_schedulers()
+        assert set(listing) == set(available_schedulers())
+
+    def test_aliases_point_at_the_same_factory(self):
+        listing = list_schedulers()
+        assert listing["fps"] == listing["fps-offline"]
+        assert listing["heuristic"] == listing["static"]
+        assert "HeuristicScheduler" in listing["static"]
+
+    def test_reflects_dynamic_registrations(self):
+        register_scheduler("test-listed", lambda: 1)
+        try:
+            assert "test-listed" in list_schedulers()
+        finally:
+            unregister_scheduler("test-listed")
+        assert "test-listed" not in list_schedulers()

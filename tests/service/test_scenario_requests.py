@@ -1,0 +1,129 @@
+"""Scenario-backed schedule requests: round-trip, caching and execution."""
+
+import pytest
+
+from repro.core.serialization import taskset_to_dict
+from repro.scenario import FaultSpec, Scenario, create_scenario, materialize
+from repro.service import (
+    CACHE_HIT,
+    CACHE_MISS,
+    ScheduleRequest,
+    SchedulerSpec,
+    SchedulingService,
+    execute_request,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return create_scenario("short-hyperperiod")
+
+
+class TestConstruction:
+    def test_scenario_refs_are_coerced(self):
+        request = ScheduleRequest(scenario="paper-default", spec="static")
+        assert isinstance(request.scenario, Scenario)
+        assert request.scenario.name == "paper-default"
+
+    def test_exactly_one_workload_source_is_required(self, scenario):
+        task_set = materialize(scenario, 0).task_set
+        with pytest.raises(ValueError, match="exactly one"):
+            ScheduleRequest(spec="static")
+        with pytest.raises(ValueError, match="exactly one"):
+            ScheduleRequest(task_set=task_set, scenario=scenario, spec="static")
+
+    def test_spec_is_required(self, scenario):
+        with pytest.raises(ValueError, match="spec"):
+            ScheduleRequest(scenario=scenario)
+
+    def test_system_index_requires_a_scenario(self, scenario):
+        task_set = materialize(scenario, 0).task_set
+        with pytest.raises(ValueError, match="system_index"):
+            ScheduleRequest(task_set=task_set, spec="static", system_index=1)
+        with pytest.raises(ValueError, match="system_index"):
+            ScheduleRequest(scenario=scenario, spec="static", system_index=-1)
+
+    def test_effective_task_set_matches_materialize(self, scenario):
+        request = ScheduleRequest(scenario=scenario, spec="static", system_index=2)
+        expected = materialize(scenario, 2).task_set
+        assert taskset_to_dict(request.effective_task_set()) == taskset_to_dict(expected)
+
+
+class TestSerialisation:
+    def test_scenario_requests_round_trip_as_version_2(self, scenario):
+        request = ScheduleRequest(
+            scenario=scenario, spec="static", system_index=3, request_id="r1"
+        )
+        payload = request.to_dict()
+        assert payload["version"] == 2
+        recovered = ScheduleRequest.from_json(request.to_json())
+        assert recovered.scenario == scenario
+        assert recovered.system_index == 3
+        assert recovered.request_id == "r1"
+        assert recovered.content_key() == request.content_key()
+
+    def test_plain_requests_still_serialise_as_version_1(self, scenario):
+        task_set = materialize(scenario, 0).task_set
+        request = ScheduleRequest(task_set=task_set, spec="static")
+        assert request.to_dict()["version"] == 1
+
+
+class TestContentKey:
+    def test_any_scenario_field_change_changes_the_key(self, scenario):
+        base = ScheduleRequest(scenario=scenario, spec="static")
+        variants = [
+            ScheduleRequest(scenario=scenario, spec="static", system_index=1),
+            ScheduleRequest(scenario=scenario, spec="gpiocp"),
+            ScheduleRequest(scenario=scenario.with_utilisation(0.41), spec="static"),
+            ScheduleRequest(scenario=scenario.with_platform(flit_delay=3), spec="static"),
+            ScheduleRequest(
+                scenario=scenario.with_faults(
+                    [FaultSpec(kind="missing-request", task_name="tau0")]
+                ),
+                spec="static",
+            ),
+            ScheduleRequest(
+                scenario=Scenario(name="renamed", workload=scenario.workload),
+                spec="static",
+            ),
+        ]
+        keys = {base.content_key()} | {v.content_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_request_id_does_not_enter_the_key(self, scenario):
+        a = ScheduleRequest(scenario=scenario, spec="static", request_id="a")
+        b = ScheduleRequest(scenario=scenario, spec="static", request_id="b")
+        assert a.content_key() == b.content_key()
+
+
+class TestExecution:
+    def test_execute_request_equals_the_explicit_task_set_path(self, scenario):
+        declarative = execute_request(ScheduleRequest(scenario=scenario, spec="static"))
+        explicit = execute_request(
+            ScheduleRequest(task_set=materialize(scenario, 0).task_set, spec="static")
+        )
+        assert declarative.result_dict() == explicit.result_dict()
+
+    def test_cache_hits_only_for_the_identical_scenario(self, scenario, tmp_path):
+        """A cached scenario schedule is a miss after any scenario field change."""
+        spec = SchedulerSpec.parse("static")
+        with SchedulingService(cache_dir=str(tmp_path)) as service:
+            first = service.submit(ScheduleRequest(scenario=scenario, spec=spec))
+            again = service.submit(ScheduleRequest(scenario=scenario, spec=spec))
+            changed = service.submit(
+                ScheduleRequest(scenario=scenario.with_platform(flit_delay=9), spec=spec)
+            )
+        assert first.cache == CACHE_MISS
+        assert again.cache == CACHE_HIT
+        assert changed.cache == CACHE_MISS
+        assert changed.cache_key != first.cache_key
+
+    def test_ga_seed_derivation_covers_scenario_requests(self, scenario):
+        """The service pins a deterministic GA seed from the request content."""
+        request = ScheduleRequest(
+            scenario=scenario, spec="ga:population_size=8,generations=3"
+        )
+        a = execute_request(request)
+        b = execute_request(request)
+        assert a.result_dict() == b.result_dict()
+        assert "seed=" in a.spec
