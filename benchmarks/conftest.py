@@ -8,13 +8,23 @@ the full-size evaluation when more compute is available.
 The figure benchmarks run through the parallel experiment engine; set
 ``REPRO_BENCH_WORKERS`` to a worker count to benchmark the multi-process
 path (the default of 1 keeps timings comparable across machines).
+
+Whenever benchmarks actually run, the session additionally emits a
+machine-readable ``BENCH_results.json`` — a flat ``{benchmark name: median
+seconds}`` mapping — so the performance trajectory can be tracked across
+commits without parsing pytest's console tables.  Set ``REPRO_BENCH_RESULTS``
+to override the output path (relative to the pytest rootdir).
 """
 
 import os
 
 import pytest
 
+from repro.core.serialization import atomic_write_json
 from repro.experiments import ExperimentConfig
+
+#: Default output file of the machine-readable benchmark summary.
+BENCH_RESULTS_FILENAME = "BENCH_results.json"
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +32,39 @@ def quick_config() -> ExperimentConfig:
     """The reduced-scale experiment configuration shared by the benchmarks."""
     n_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
     return ExperimentConfig.quick().with_overrides(n_workers=n_workers)
+
+
+def _benchmark_medians(session) -> dict:
+    """Collect ``{fullname: median seconds}`` from the benchmark session.
+
+    Defensive against pytest-benchmark internals: benchmarks that errored (or
+    never produced stats, e.g. ``--benchmark-disable`` runs) are skipped, and
+    any attribute mismatch across plugin versions degrades to an empty dict
+    rather than failing the whole test session in its finish hook.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return {}
+    medians = {}
+    for bench in getattr(bench_session, "benchmarks", ()) or ():
+        if getattr(bench, "has_error", False):
+            continue
+        stats = getattr(bench, "stats", None)
+        median = getattr(stats, "median", None)
+        name = getattr(bench, "fullname", None) or getattr(bench, "name", None)
+        if name is not None and isinstance(median, (int, float)):
+            medians[str(name)] = float(median)
+    return medians
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``BENCH_results.json`` when at least one benchmark produced stats."""
+    try:  # never fail the run over reporting
+        medians = _benchmark_medians(session)
+        if not medians:
+            return
+        target = os.environ.get("REPRO_BENCH_RESULTS", BENCH_RESULTS_FILENAME)
+        path = os.path.join(str(session.config.rootpath), target)
+        atomic_write_json(path, medians)
+    except Exception:
+        return

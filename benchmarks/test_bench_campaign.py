@@ -1,0 +1,55 @@
+"""Benchmarks of the campaign layer: grid expansion and report aggregation.
+
+The campaign subsystem's own overhead must stay negligible next to the
+scheduling work it orchestrates.  Two hot paths are measured in isolation —
+no scheduler runs here:
+
+* **grid expansion** — ``CampaignSpec.cells()`` plus per-cell request
+  construction (scenario pinning, spec parsing, content hashing), the cost a
+  resume pays to discover pending work;
+* **report aggregation** — ``CampaignReport.from_records`` over a
+  synthetically-journalled grid, the cost of ``report`` on a big campaign.
+"""
+
+import pytest
+
+from repro.campaign import CampaignReport, CampaignSpec, cell_request
+
+#: A production-shaped grid: 4 presets x 3 methods x systems x utilisations.
+GRID_SPEC = CampaignSpec(
+    name="bench-grid",
+    scenarios=("paper-default", "short-hyperperiod", "bursty-periods", "wide-noc"),
+    methods=("static", "gpiocp", "fps-offline"),
+    n_systems=25,
+    utilisations=(0.3, 0.5, 0.7),
+    replications=2,
+)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_grid_expansion_throughput(benchmark):
+    def expand():
+        return [cell_request(GRID_SPEC, cell) for cell in GRID_SPEC.cells()]
+
+    requests = benchmark(expand)
+    assert len(requests) == GRID_SPEC.n_cells == 1800
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_report_aggregation_throughput(benchmark):
+    # Journal-shaped records for every cell, deterministic but varied.
+    records = {}
+    for index, cell in enumerate(GRID_SPEC.cells()):
+        records[cell.key()] = {
+            "schedulable": index % 7 != 0,
+            "psi": (index % 101) / 100.0,
+            "upsilon": (index % 89) / 88.0,
+            "best_psi": (index % 103) / 102.0,
+            "best_upsilon": (index % 97) / 96.0,
+            "response_time": float(1000 + index % 5000),
+        }
+
+    report = benchmark(CampaignReport.from_records, GRID_SPEC, records)
+    assert report.complete
+    assert report.n_cells_aggregated == GRID_SPEC.n_cells
+    assert len(report.leaderboard("psi")) == len(GRID_SPEC.methods)

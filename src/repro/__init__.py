@@ -18,10 +18,17 @@ The package provides:
   pool with a content-addressed schedule cache, and a JSONL batch CLI;
 * ``repro.scenario`` — declarative, versioned evaluation scenarios (workload
   + platform + faults) with named presets and deterministic materialisation;
+* ``repro.campaign`` — declarative multi-scenario campaigns: scenario x
+  method grids run through the service with checkpointed resume and
+  aggregated leaderboard reports;
 * ``repro.experiments`` — the harness regenerating every figure and table of
   the paper's evaluation.
 """
 
+# NOTE: repro.campaign (like repro.experiments, which it builds on) is not
+# imported here: `import repro` must stay lightweight and the scheduling
+# registry must resolve without dragging the experiment harness in (see
+# tests/scheduling/test_online.py).  Import it explicitly.
 from repro.core import (
     IOJob,
     IOTask,

@@ -9,6 +9,7 @@ fixed-priority analysis with blocking from lower-priority jobs (Davis et al.,
 from repro.analysis.response_time import (
     ResponseTimeResult,
     blocking_time,
+    max_response_time,
     response_time,
     response_time_analysis,
 )
@@ -20,6 +21,7 @@ from repro.analysis.schedulability import (
 
 __all__ = [
     "blocking_time",
+    "max_response_time",
     "response_time",
     "response_time_analysis",
     "ResponseTimeResult",

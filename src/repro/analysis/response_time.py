@@ -100,6 +100,21 @@ def response_time(
     )
 
 
+def max_response_time(task_set: TaskSet) -> float:
+    """The largest analysed worst-case response time across all tasks (µs).
+
+    A single scalar "how hard is this system" diagnostic used by campaign
+    reports.  Tasks whose recurrence did not converge contribute the (finite)
+    response time at which the iteration stopped — a lower bound on their true
+    worst case — so the result is always finite and JSON-representable.
+    Empty task sets yield ``0.0``.
+    """
+    results = response_time_analysis(task_set)
+    if not results:
+        return 0.0
+    return float(max(result.response_time for result in results.values()))
+
+
 def response_time_analysis(task_set: TaskSet) -> Dict[str, ResponseTimeResult]:
     """Response-time analysis of every task, per-device (fully-partitioned).
 

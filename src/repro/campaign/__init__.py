@@ -1,0 +1,76 @@
+"""repro.campaign — declarative multi-scenario campaign orchestration.
+
+The layer that turns the three lower subsystems into one production-shaped
+pipeline::
+
+    scenario  (what to evaluate)      repro.scenario.Scenario
+       × method (how to schedule)     repro.service.SchedulerSpec
+       × system × utilisation × replication
+    ------------------------------------------------  CampaignSpec (versioned JSON)
+    CampaignRunner  — grid -> ScheduleRequests through one SchedulingService
+                      (worker pool, in-batch dedup, content-addressed cache),
+                      checkpointed to campaign.jsonl for zero-recompute resume
+    CampaignReport  — per-(scenario, method) Psi/Upsilon/schedulability/
+                      response-time statistics, JSON + Markdown leaderboards
+
+One declarative description in, one queryable aggregated report out — and
+both ends are content-addressed, so results are bit-identical at any worker
+count and a resumed campaign never mixes with a different grid.
+
+CLI: ``python -m repro.campaign`` (``run``, ``report``, ``--list``).
+"""
+
+from repro.campaign.report import OVERALL, REPORT_KIND, REPORT_VERSION, CampaignReport
+from repro.campaign.runner import (
+    CAMPAIGN_JOURNAL_FILENAME,
+    CAMPAIGN_SPEC_FILENAME,
+    CampaignResult,
+    CampaignRunner,
+    cell_request,
+    cell_scenario,
+    cell_values,
+    load_campaign_records,
+    read_campaign_journal,
+    replication_seed,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_KIND,
+    CAMPAIGN_METRICS,
+    CAMPAIGN_VERSION,
+    LOWER_IS_BETTER,
+    CampaignCell,
+    CampaignLike,
+    CampaignSpec,
+    build_campaign,
+    create_campaign,
+    load_campaign,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignCell",
+    "CampaignLike",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignReport",
+    "CAMPAIGN_KIND",
+    "CAMPAIGN_VERSION",
+    "CAMPAIGN_METRICS",
+    "CAMPAIGN_JOURNAL_FILENAME",
+    "CAMPAIGN_SPEC_FILENAME",
+    "LOWER_IS_BETTER",
+    "OVERALL",
+    "REPORT_KIND",
+    "REPORT_VERSION",
+    "build_campaign",
+    "create_campaign",
+    "load_campaign",
+    "run_campaign",
+    "load_campaign_records",
+    "read_campaign_journal",
+    "cell_request",
+    "cell_scenario",
+    "cell_values",
+    "replication_seed",
+]

@@ -1,0 +1,396 @@
+"""``python -m repro.campaign`` — run campaigns and aggregate their reports.
+
+Two subcommands over one artifact convention (a directory per campaign,
+keyed by the spec's content hash, holding ``campaign.json`` + the
+``campaign.jsonl`` cell journal):
+
+``run``
+    Execute a campaign grid.  The spec comes from a JSON file, inline JSON,
+    or is built right on the command line from ``--scenarios``/``--methods``
+    style flags.  ``--resume`` continues an interrupted campaign with zero
+    recomputation; ``--workers`` fans the cells out over a process pool
+    without changing a single output byte.
+``report``
+    Aggregate a campaign's journal into a :class:`CampaignReport` and emit
+    it as an aligned text table, Markdown leaderboards, or versioned JSON.
+
+Examples::
+
+    # A 6-cell campaign built from flags, run on 2 workers, reported as text
+    python -m repro.campaign run --name demo \\
+        --scenarios paper-default short-hyperperiod --methods static gpiocp \\
+        --systems 1 --utilisations 0.4 --artifact-dir campaigns/ --workers 2
+
+    # Interrupted?  Resume recomputes nothing:
+    python -m repro.campaign run --name demo ... --artifact-dir campaigns/ --resume
+
+    # Aggregate and emit the Markdown leaderboard
+    python -m repro.campaign report --artifact-dir campaigns/ --format md
+
+    # What can campaigns be built from?
+    python -m repro.campaign --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.campaign.report import CampaignReport
+from repro.campaign.runner import (
+    CAMPAIGN_SPEC_FILENAME,
+    CampaignRunner,
+    load_campaign_records,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_METRICS,
+    CampaignSpec,
+    build_campaign,
+    load_campaign,
+)
+from repro.scenario import format_scenario_listing
+from repro.scheduling import format_scheduler_listing
+
+REPORT_FORMATS = ("table", "md", "json")
+
+_BUILDER_FLAGS = (
+    "name",
+    "scenarios",
+    "methods",
+    "systems",
+    "utilisations",
+    "replications",
+    "metrics",
+    "description",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Declarative multi-scenario campaign orchestration: "
+        "run scenario x method grids, resume them, aggregate reports.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the building blocks of a campaign (registered scenario "
+        "presets with content keys, registered scheduling methods) and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered scenario presets and exit",
+    )
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="list the registered scheduling methods and exit",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    run = commands.add_parser(
+        "run", help="execute a campaign grid (checkpointed, resumable)"
+    )
+    run.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec: a repro/campaign JSON file or inline JSON; omit "
+        "to build the spec from the flags below",
+    )
+    run.add_argument(
+        "--name", default=None, help="campaign name (flag-built specs; default: campaign)"
+    )
+    run.add_argument("--description", default=None, help="campaign description")
+    run.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="scenarios of the grid (preset names or inline scenario JSON; "
+        "default: paper-default)",
+    )
+    run.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="scheduler spec strings of the grid (default: static)",
+    )
+    run.add_argument(
+        "--systems",
+        type=int,
+        default=None,
+        metavar="N",
+        help="system indices 0..N-1 per scenario (default: 1)",
+    )
+    run.add_argument(
+        "--utilisations",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="U",
+        help="utilisation points to pin per scenario (default: each "
+        "scenario's own workload utilisation)",
+    )
+    run.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replications per cell; decorrelates stochastic methods "
+        "(default: 1)",
+    )
+    run.add_argument(
+        "--metrics",
+        nargs="+",
+        default=None,
+        choices=list(CAMPAIGN_METRICS),
+        help="metrics to record per cell (default: all)",
+    )
+    run.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="root directory for campaign artifacts (spec + cell journal); "
+        "required for --resume",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes of the scheduling service (default: 1); "
+        "results are bit-identical at any worker count",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent content-addressed schedule cache shared with other "
+        "service consumers (omit to cache in memory for this run only)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign from its journal (zero "
+        "recomputation); without this flag, existing progress is an error",
+    )
+    run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate at most N pending cells then stop (testing/budgeting; "
+        "resume later with --resume)",
+    )
+    run.add_argument(
+        "--report",
+        dest="report_format",
+        choices=(*REPORT_FORMATS, "none"),
+        default="table",
+        help="report format printed after the run (default: table)",
+    )
+    run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+
+    report = commands.add_parser(
+        "report", help="aggregate a campaign's journal into a report"
+    )
+    report.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec (JSON file or inline JSON); omit to auto-discover "
+        "the campaign under --artifact-dir (or select one with --key)",
+    )
+    report.add_argument(
+        "--artifact-dir",
+        required=True,
+        metavar="DIR",
+        help="root directory the campaign was run with",
+    )
+    report.add_argument(
+        "--key",
+        default=None,
+        metavar="CONTENT_KEY",
+        help="content key of the campaign to report (as printed by run)",
+    )
+    report.add_argument(
+        "--format",
+        dest="report_format",
+        choices=REPORT_FORMATS,
+        default="table",
+        help="output format (default: table)",
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    return parser
+
+
+def resolve_run_spec(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> CampaignSpec:
+    """The spec of a ``run`` invocation: positional reference XOR builder flags."""
+    builder_used = [
+        flag for flag in _BUILDER_FLAGS if getattr(args, flag, None) is not None
+    ]
+    if args.spec is not None:
+        if builder_used:
+            parser.error(
+                "pass either a spec file/JSON or builder flags "
+                f"(--{', --'.join(builder_used)}), not both"
+            )
+        return load_campaign(args.spec)
+    return build_campaign(
+        name=args.name or "campaign",
+        description=args.description or "",
+        scenarios=tuple(args.scenarios) if args.scenarios else ("paper-default",),
+        methods=tuple(args.methods) if args.methods else ("static",),
+        n_systems=args.systems if args.systems is not None else 1,
+        utilisations=tuple(args.utilisations) if args.utilisations else (),
+        replications=args.replications if args.replications is not None else 1,
+        metrics=tuple(args.metrics) if args.metrics else CAMPAIGN_METRICS,
+    )
+
+
+def discover_campaign_spec(
+    parser: argparse.ArgumentParser, artifact_dir: str, key: Optional[str]
+) -> CampaignSpec:
+    """Load a campaign spec from its artifact directory (``report`` command)."""
+    root = Path(artifact_dir)
+    if key is not None:
+        candidates = [root / key / CAMPAIGN_SPEC_FILENAME]
+        if not candidates[0].exists():
+            parser.error(f"no campaign with key {key!r} under {artifact_dir!r}")
+    else:
+        candidates = sorted(root.glob(f"*/{CAMPAIGN_SPEC_FILENAME}"))
+        if not candidates:
+            parser.error(f"no campaigns found under {artifact_dir!r}")
+        if len(candidates) > 1:
+            keys = ", ".join(path.parent.name for path in candidates)
+            parser.error(
+                f"multiple campaigns under {artifact_dir!r} ({keys}); "
+                "select one with --key or pass the spec explicitly"
+            )
+    return load_campaign(str(candidates[0]))
+
+
+def render_report(report: CampaignReport, fmt: str) -> str:
+    if fmt == "json":
+        return report.to_json() + "\n"
+    if fmt == "md":
+        return report.to_markdown()
+    return report.to_text()
+
+
+def emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        sys.stdout.write(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.resume and args.artifact_dir is None:
+        parser.error("--resume requires --artifact-dir")
+    if args.max_cells is not None and args.max_cells < 1:
+        parser.error(f"--max-cells must be >= 1, got {args.max_cells}")
+    try:
+        spec = resolve_run_spec(parser, args)
+    except (ValueError, KeyError) as error:
+        parser.error(f"invalid campaign spec: {error}")
+
+    with CampaignRunner(
+        spec,
+        artifact_dir=args.artifact_dir,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+    ) as runner:
+        if runner.completed_cells and not args.resume:
+            parser.error(
+                f"campaign {spec.name!r} ({spec.content_key()}) already has "
+                f"{runner.completed_cells} completed cell(s) under "
+                f"{args.artifact_dir!r}; pass --resume to continue it"
+            )
+        result = runner.run(max_cells=args.max_cells)
+
+    print(
+        f"campaign {spec.name!r} ({spec.content_key()}): "
+        f"{result.evaluated} evaluated, {result.resumed} resumed, "
+        f"{len(result.records)}/{spec.n_cells} cells done",
+        file=sys.stderr,
+    )
+    if not result.complete:
+        print(
+            "campaign incomplete; re-run with --resume to finish it",
+            file=sys.stderr,
+        )
+    if args.report_format != "none":
+        emit(render_report(result.report(), args.report_format), args.output)
+    return 0
+
+
+def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    try:
+        if args.spec is not None:
+            spec = load_campaign(args.spec)
+        else:
+            spec = discover_campaign_spec(parser, args.artifact_dir, args.key)
+    except (ValueError, KeyError) as error:
+        parser.error(f"invalid campaign spec: {error}")
+
+    records = load_campaign_records(args.artifact_dir, spec)
+    report = CampaignReport.from_records(spec, records)
+    if not report.complete:
+        print(
+            f"warning: report covers {report.n_cells_aggregated}/"
+            f"{report.n_cells_expected} cells; run with --resume to finish "
+            "the campaign",
+            file=sys.stderr,
+        )
+    emit(render_report(report, args.report_format), args.output)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.list_scenarios or args.list_methods:
+        sections: List[str] = []
+        if args.list or args.list_scenarios:
+            sections.append("scenario presets (name, content key, description):")
+            sections.append(format_scenario_listing())
+        if args.list or args.list_methods:
+            sections.append("scheduling methods:")
+            sections.append(format_scheduler_listing())
+        print("\n".join(sections))
+        return 0
+
+    if args.command == "run":
+        return cmd_run(parser, args)
+    if args.command == "report":
+        return cmd_report(parser, args)
+    parser.error("a subcommand is required (run, report) — or --list")
+    return 2  # pragma: no cover — parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

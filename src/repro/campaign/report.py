@@ -1,0 +1,279 @@
+"""``CampaignReport`` — queryable aggregation of a campaign's cells.
+
+One report summarises every ``(scenario, method)`` pair of a campaign grid:
+for each selected metric, the per-pair sample statistics
+(:class:`~repro.experiments.stats.SeriesStats` over systems × replications ×
+utilisation points) plus an ``overall`` per-method aggregate across all
+scenarios, which feeds the per-metric leaderboard.
+
+Reports are values with the same discipline as everything else in the
+pipeline: a lossless versioned JSON round-trip
+(``kind="repro/campaign-report"``, version 1) and deterministic content —
+aggregation always walks cells in the spec's canonical grid order, so a
+report built from a 1-worker run and one from a 4-worker (or resumed) run of
+the same campaign are **byte-identical** JSON.
+
+Emitters: :meth:`~CampaignReport.to_json` (machine-readable),
+:meth:`~CampaignReport.to_markdown` (leaderboard table per metric) and
+:meth:`~CampaignReport.to_text` (aligned plain-text tables via
+:func:`repro.experiments.stats.format_table`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.campaign.spec import LOWER_IS_BETTER, CampaignSpec
+from repro.core.serialization import (
+    parse_versioned_payload,
+    versioned_payload,
+)
+from repro.experiments.stats import SeriesStats, format_table
+
+REPORT_KIND = "repro/campaign-report"
+REPORT_VERSION = 1
+
+#: Aggregate statistics of one (scenario, method, metric) sample.
+StatsDict = Dict[str, float]
+
+#: Pseudo-scenario key under which the all-scenarios aggregate is stored.
+OVERALL = "overall"
+
+
+def _stats_dict(values: List[float]) -> StatsDict:
+    stats = SeriesStats.of(values)
+    return {
+        "n": stats.n,
+        "mean": stats.mean,
+        "std": stats.std,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "median": stats.median,
+    }
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric == "response_time":
+        return f"{value:.1f}"
+    return f"{value:.4f}"
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregated per-(scenario, method) statistics of one campaign.
+
+    ``entries`` maps ``metric -> scenario -> method -> stats`` where
+    ``scenario`` also takes the pseudo-key :data:`OVERALL` for the
+    across-scenarios aggregate; pairs with no completed cells are simply
+    absent.  ``n_cells_aggregated`` < ``n_cells_expected`` flags a report
+    built from a partial (interrupted) campaign.
+    """
+
+    name: str
+    campaign_key: str
+    metrics: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    n_cells_expected: int
+    n_cells_aggregated: int
+    entries: Dict[str, Dict[str, Dict[str, StatsDict]]]
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, spec: CampaignSpec, records: Mapping[Tuple, Mapping[str, Any]]
+    ) -> "CampaignReport":
+        """Aggregate journalled cell records (see ``CampaignRunner``).
+
+        Cells are visited in the spec's canonical grid order regardless of
+        the order ``records`` was populated in, which makes the resulting
+        report (and its JSON serialisation) independent of worker count,
+        chunking and resume history.
+        """
+        scenario_names = tuple(scenario.name for scenario in spec.scenarios)
+        method_names = tuple(str(method) for method in spec.methods)
+
+        samples: Dict[str, Dict[str, Dict[str, List[float]]]] = {
+            metric: {
+                scenario: {method: [] for method in method_names}
+                for scenario in (*scenario_names, OVERALL)
+            }
+            for metric in spec.metrics
+        }
+        aggregated = 0
+        for cell in spec.cells():
+            values = records.get(cell.key())
+            if values is None:
+                continue
+            aggregated += 1
+            for metric in spec.metrics:
+                if metric not in values:
+                    continue
+                value = float(values[metric])
+                samples[metric][cell.scenario][cell.method].append(value)
+                samples[metric][OVERALL][cell.method].append(value)
+
+        entries: Dict[str, Dict[str, Dict[str, StatsDict]]] = {}
+        for metric, per_scenario in samples.items():
+            for scenario, per_method in per_scenario.items():
+                for method, values in per_method.items():
+                    if not values:
+                        continue
+                    entries.setdefault(metric, {}).setdefault(scenario, {})[
+                        method
+                    ] = _stats_dict(values)
+
+        return cls(
+            name=spec.name,
+            campaign_key=spec.content_key(),
+            metrics=spec.metrics,
+            scenarios=scenario_names,
+            methods=method_names,
+            n_cells_expected=spec.n_cells,
+            n_cells_aggregated=aggregated,
+            entries=entries,
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self.n_cells_aggregated == self.n_cells_expected
+
+    def stats(self, metric: str, scenario: str, method: str) -> Optional[StatsDict]:
+        """The stats of one (metric, scenario, method) entry, or ``None``."""
+        return self.entries.get(metric, {}).get(scenario, {}).get(method)
+
+    def leaderboard(self, metric: str) -> List[Tuple[str, StatsDict]]:
+        """Methods ranked by their overall mean of ``metric`` (best first).
+
+        Higher is better except for the metrics in
+        :data:`~repro.campaign.spec.LOWER_IS_BETTER`; ties break by method
+        name so rankings are stable.
+        """
+        overall = self.entries.get(metric, {}).get(OVERALL, {})
+        reverse = metric not in LOWER_IS_BETTER
+        return sorted(
+            overall.items(),
+            key=lambda item: ((-item[1]["mean"]) if reverse else item[1]["mean"], item[0]),
+        )
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return versioned_payload(
+            REPORT_KIND,
+            REPORT_VERSION,
+            {
+                "name": self.name,
+                "campaign_key": self.campaign_key,
+                "metrics": list(self.metrics),
+                "scenarios": list(self.scenarios),
+                "methods": list(self.methods),
+                "cells": {
+                    "expected": self.n_cells_expected,
+                    "aggregated": self.n_cells_aggregated,
+                },
+                "entries": self.entries,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignReport":
+        _, data = parse_versioned_payload(
+            dict(payload), REPORT_KIND, max_version=REPORT_VERSION
+        )
+        cells = data.get("cells") or {}
+        return cls(
+            name=str(data["name"]),
+            campaign_key=str(data["campaign_key"]),
+            metrics=tuple(data["metrics"]),
+            scenarios=tuple(data["scenarios"]),
+            methods=tuple(data["methods"]),
+            n_cells_expected=int(cells.get("expected", 0)),
+            n_cells_aggregated=int(cells.get("aggregated", 0)),
+            entries={
+                metric: {
+                    scenario: {method: dict(stats) for method, stats in per_method.items()}
+                    for scenario, per_method in per_scenario.items()
+                }
+                for metric, per_scenario in (data.get("entries") or {}).items()
+            },
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- human-readable emitters -------------------------------------------------
+
+    def _header_lines(self) -> List[str]:
+        coverage = f"{self.n_cells_aggregated}/{self.n_cells_expected} cells"
+        if not self.complete:
+            coverage += " (PARTIAL — campaign not finished)"
+        return [
+            f"campaign: {self.name} ({self.campaign_key})",
+            f"coverage: {coverage}",
+            f"scenarios: {', '.join(self.scenarios)}",
+            f"methods: {', '.join(self.methods)}",
+        ]
+
+    def to_markdown(self) -> str:
+        """Markdown report: one ranked leaderboard table per metric."""
+        lines = [f"# Campaign report — {self.name}", ""]
+        lines += [f"- {entry}" for entry in self._header_lines()]
+        for metric in self.metrics:
+            board = self.leaderboard(metric)
+            if not board:
+                continue
+            direction = "lower is better" if metric in LOWER_IS_BETTER else "higher is better"
+            lines += ["", f"## {metric} ({direction})", ""]
+            header = ["rank", "method", OVERALL, *self.scenarios]
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "|".join(" --- " for _ in header) + "|")
+            for rank, (method, overall_stats) in enumerate(board, start=1):
+                row = [str(rank), f"`{method}`"]
+                row.append(
+                    f"{_format_value(metric, overall_stats['mean'])} "
+                    f"± {_format_value(metric, overall_stats['std'])}"
+                )
+                for scenario in self.scenarios:
+                    stats = self.stats(metric, scenario, method)
+                    if stats is None:
+                        row.append("—")
+                    else:
+                        row.append(
+                            f"{_format_value(metric, stats['mean'])} "
+                            f"± {_format_value(metric, stats['std'])}"
+                        )
+                lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        """Aligned plain-text tables (the CLI's default ``--format table``)."""
+        blocks = list(self._header_lines())
+        for metric in self.metrics:
+            board = self.leaderboard(metric)
+            if not board:
+                continue
+            rows = []
+            for rank, (method, overall_stats) in enumerate(board, start=1):
+                row: Dict[str, Any] = {
+                    "rank": rank,
+                    "method": method,
+                    "mean": overall_stats["mean"],
+                    "std": overall_stats["std"],
+                    "median": overall_stats["median"],
+                    "min": overall_stats["min"],
+                    "max": overall_stats["max"],
+                    "n": overall_stats["n"],
+                }
+                rows.append(row)
+            blocks += ["", f"== {metric} ==", format_table(rows)]
+        return "\n".join(blocks) + "\n"

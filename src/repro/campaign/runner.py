@@ -1,0 +1,424 @@
+"""``CampaignRunner`` — execute a campaign grid with checkpointed resume.
+
+The runner expands a :class:`~repro.campaign.spec.CampaignSpec` into
+:class:`~repro.service.ScheduleRequest` cells and streams them through one
+shared :class:`~repro.service.SchedulingService` — reusing its worker pool,
+in-batch dedup and content-addressed schedule cache — while checkpointing
+every finished cell to a ``campaign.jsonl`` journal under a directory keyed
+by the campaign's content key (the same discipline as
+:class:`repro.experiments.artifacts.ArtifactStore`).  An interrupted campaign
+re-launched with the same spec therefore resumes with **zero** recomputed
+cells, and because cells are journalled in the spec's canonical grid order,
+the journal — and any report built from it — is byte-identical at every
+worker count.
+
+Determinism chain: a cell's scenario + system index materialise a
+deterministic system (:func:`repro.scenario.materialize`); the service's
+``execute_request`` is pure in the request (stochastic methods get
+content-derived seeds); replications of stochastic methods decorrelate
+through a seed derived from the cell's own coordinates.  Nothing anywhere
+depends on wall clock, process identity or worker count.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.analysis import max_response_time
+from repro.campaign.report import CampaignReport
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.core.serialization import atomic_write_json, canonical_json, content_hash
+from repro.scenario import Scenario
+from repro.service import ScheduleRequest, ScheduleResponse, SchedulerSpec, SchedulingService
+from repro.service.service import DERIVED_SEED_METHODS
+
+CAMPAIGN_JOURNAL_FILENAME = "campaign.jsonl"
+CAMPAIGN_SPEC_FILENAME = "campaign.json"
+
+#: Journal/lookup key of one cell; mirrors :meth:`CampaignCell.key`.
+CellKey = Tuple[str, str, Optional[float], int, int]
+
+#: Per-cell metric values, keyed by metric name (bools stored as bools).
+CellValues = Dict[str, Union[bool, float]]
+
+
+# -- cell -> request translation (pure functions) -------------------------------
+
+
+def cell_scenario(spec: CampaignSpec, cell: CampaignCell) -> Scenario:
+    """The concrete scenario of one cell (utilisation pinned when swept)."""
+    scenario = spec.scenario_by_name(cell.scenario)
+    if cell.utilisation is not None:
+        scenario = scenario.with_utilisation(cell.utilisation)
+    return scenario
+
+
+def replication_seed(scenario: Scenario, cell: CampaignCell) -> int:
+    """Deterministic RNG seed decorrelating one stochastic replication.
+
+    Derived from the cell's full coordinates (scenario content, method,
+    utilisation, system index, replication), so replications of the same cell
+    draw independent streams while the whole grid stays a pure function of
+    the spec.
+    """
+    return int(
+        content_hash(
+            {
+                "purpose": "campaign-replication-seed",
+                "scenario": scenario.content_key(),
+                "method": cell.method,
+                "system_index": cell.system_index,
+                "replication": cell.replication,
+            }
+        ),
+        16,
+    )
+
+
+def cell_request(spec: CampaignSpec, cell: CampaignCell) -> ScheduleRequest:
+    """Build the :class:`ScheduleRequest` one cell submits to the service.
+
+    Replication 0 issues the plain request — content-identical to a direct
+    service call for the same scenario/method, so campaign cells and ad-hoc
+    batches share schedule-cache entries.  Later replications pin a derived
+    seed on stochastic methods (:data:`DERIVED_SEED_METHODS`) that do not pin
+    one themselves; deterministic methods replicate to content-identical
+    requests, which the service dedups for free (their variance is genuinely
+    zero).
+    """
+    scenario = cell_scenario(spec, cell)
+    method = SchedulerSpec.parse(cell.method)
+    if (
+        cell.replication > 0
+        and method.name in DERIVED_SEED_METHODS
+        and method.options_dict().get("seed") is None
+    ):
+        method = method.with_options(seed=replication_seed(scenario, cell))
+    return ScheduleRequest(
+        scenario=scenario,
+        system_index=cell.system_index,
+        spec=method,
+        request_id=(
+            f"{spec.name}/{cell.scenario}/{cell.method}"
+            f"/u={cell.utilisation}/i={cell.system_index}/r={cell.replication}"
+        ),
+    )
+
+
+def cell_values(
+    spec: CampaignSpec,
+    request: ScheduleRequest,
+    response: ScheduleResponse,
+    *,
+    analysis_cache: Optional[Dict[Tuple[str, int], float]] = None,
+) -> CellValues:
+    """Extract the spec's selected metrics from one finished cell.
+
+    ``response_time`` is a workload-difficulty diagnostic — the analytical
+    FPS worst case of the materialised system, identical for every method
+    and replication of the same (scenario, utilisation, system index) — so
+    callers evaluating a grid pass an ``analysis_cache`` keyed by
+    ``(scenario content key, system index)`` to analyse each system once
+    instead of once per cell.
+    """
+    values: CellValues = {}
+    for metric in spec.metrics:
+        if metric == "schedulable":
+            values[metric] = bool(response.schedulable)
+        elif metric == "response_time":
+            cache_key = (request.scenario.content_key(), request.system_index)
+            if analysis_cache is not None and cache_key in analysis_cache:
+                values[metric] = analysis_cache[cache_key]
+            else:
+                values[metric] = max_response_time(request.effective_task_set())
+                if analysis_cache is not None:
+                    analysis_cache[cache_key] = values[metric]
+        else:  # psi / upsilon / best_psi / best_upsilon
+            values[metric] = float(getattr(response, metric))
+    return values
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    spec: CampaignSpec
+    #: Every completed cell (resumed + freshly evaluated), by cell key.
+    records: Dict[CellKey, CellValues]
+    #: Cells evaluated by *this* call (not served from the journal).
+    evaluated: int
+    #: Cells served from the journal before this call computed anything.
+    resumed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.records) == self.spec.n_cells
+
+    def report(self) -> CampaignReport:
+        return CampaignReport.from_records(self.spec, self.records)
+
+
+@dataclass
+class _Progress:
+    """Internal accounting handed to progress callbacks."""
+
+    done: int
+    total: int
+    evaluated: int
+
+
+class CampaignRunner:
+    """Runs one campaign, checkpointing progress for interruption-free resume.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    artifact_dir:
+        Root directory for campaign artifacts.  The runner owns
+        ``<artifact_dir>/<spec.content_key()>/`` — the spec payload
+        (``campaign.json``), the cell journal (``campaign.jsonl``) — so
+        different campaigns can share one root without mixing.  ``None``
+        keeps all progress in memory (no resume across processes).
+    n_workers:
+        Worker processes of the shared scheduling service (1 = in-process).
+    cache_dir:
+        Optional persistent schedule-cache directory for the service; safe to
+        share between concurrent campaign processes (entries are written
+        atomically).
+    service:
+        An existing service to schedule through (its worker pool and cache
+        are reused; ``n_workers``/``cache_dir`` are then ignored).  The
+        caller keeps ownership and must close it.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        artifact_dir: Optional[Union[str, Path]] = None,
+        n_workers: int = 1,
+        cache_dir: Optional[str] = None,
+        service: Optional[SchedulingService] = None,
+    ):
+        self.spec = spec
+        self.n_workers = n_workers if service is None else service.n_workers
+        if service is not None:
+            self.service = service
+            self._owns_service = False
+        else:
+            self.service = SchedulingService(n_workers=n_workers, cache_dir=cache_dir)
+            self._owns_service = True
+
+        self.directory: Optional[Path] = None
+        self._journal: Optional[io.TextIOWrapper] = None
+        self._records: Dict[CellKey, CellValues] = {}
+        if artifact_dir is not None:
+            self.directory = Path(artifact_dir) / spec.content_key()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._write_spec()
+            self._load_journal()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def completed_cells(self) -> int:
+        """Cells already answered by the journal (or earlier runs)."""
+        return len(self._records)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        max_cells: Optional[int] = None,
+        progress: Optional[Callable[[_Progress], None]] = None,
+    ) -> CampaignResult:
+        """Execute every pending cell of the grid (in canonical order).
+
+        ``max_cells`` bounds how many *pending* cells this call evaluates —
+        the hook tests use to simulate an interrupt mid-grid; a subsequent
+        call picks up exactly where this one stopped.  ``progress`` is called
+        after every checkpointed chunk.
+        """
+        cells = list(self.spec.cells())
+        resumed = sum(1 for cell in cells if cell.key() in self._records)
+        pending = [cell for cell in cells if cell.key() not in self._records]
+        if max_cells is not None:
+            pending = pending[:max_cells]
+
+        evaluated = 0
+        # One response-time analysis per distinct system, not per cell.
+        analysis_cache: Dict[Tuple[str, int], float] = {}
+        # Chunks bound how much work an interrupt can lose while still
+        # keeping every worker busy (serial runs checkpoint every cell); the
+        # journal content is chunking- (and therefore worker-count-)
+        # independent because cells are always processed and appended in
+        # canonical grid order.
+        chunk_size = 1 if self.n_workers == 1 else self.n_workers * 4
+        for start in range(0, len(pending), chunk_size):
+            chunk = pending[start : start + chunk_size]
+            requests = [cell_request(self.spec, cell) for cell in chunk]
+            responses = self.service.submit_batch(requests)
+            for cell, request, response in zip(chunk, requests, responses):
+                values = cell_values(
+                    self.spec, request, response, analysis_cache=analysis_cache
+                )
+                self._record(cell, values)
+                evaluated += 1
+            if progress is not None:
+                progress(
+                    _Progress(
+                        done=resumed + evaluated, total=len(cells), evaluated=evaluated
+                    )
+                )
+
+        records = {
+            cell.key(): self._records[cell.key()]
+            for cell in cells
+            if cell.key() in self._records
+        }
+        return CampaignResult(
+            spec=self.spec, records=records, evaluated=evaluated, resumed=resumed
+        )
+
+    # -- the journal -------------------------------------------------------------
+
+    def _record(self, cell: CampaignCell, values: CellValues) -> None:
+        key = cell.key()
+        if key in self._records:
+            return
+        self._records[key] = values
+        if self.directory is None:
+            return
+        line = canonical_json(
+            {
+                "sc": cell.scenario,
+                "m": cell.method,
+                "u": cell.utilisation,
+                "i": cell.system_index,
+                "r": cell.replication,
+                "v": values,
+            }
+        )
+        if self._journal is None:
+            self._journal = open(
+                self.directory / CAMPAIGN_JOURNAL_FILENAME, "a", encoding="utf-8"
+            )
+        self._journal.write(line + "\n")
+        self._journal.flush()
+
+    def _load_journal(self) -> None:
+        assert self.directory is not None
+        path = self.directory / CAMPAIGN_JOURNAL_FILENAME
+        if not path.exists():
+            return
+        # A write cut short by an interrupt leaves a torn trailing line with
+        # no newline; truncate it away *before* appending anything, or the
+        # recomputed record would merge into the fragment and corrupt the
+        # journal permanently.
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            if content and not content.endswith("\n"):
+                keep = content.rfind("\n") + 1
+                handle.seek(keep)
+                handle.truncate()
+        self._records.update(read_campaign_journal(path))
+
+    def _write_spec(self) -> None:
+        """Persist the spec payload next to the journal (humans + ``report``)."""
+        assert self.directory is not None
+        path = self.directory / CAMPAIGN_SPEC_FILENAME
+        if path.exists():
+            return
+        atomic_write_json(path, self.spec.to_dict(), indent=2)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    artifact_dir: Optional[Union[str, Path]] = None,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    service: Optional[SchedulingService] = None,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[_Progress], None]] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper: construct a runner, run, close."""
+    with CampaignRunner(
+        spec,
+        artifact_dir=artifact_dir,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        service=service,
+    ) as runner:
+        return runner.run(max_cells=max_cells, progress=progress)
+
+
+def read_campaign_journal(path: Union[str, Path]) -> Dict[CellKey, CellValues]:
+    """Parse a ``campaign.jsonl`` journal; unreadable lines are skipped.
+
+    Purely read-only (no truncation, no directory creation) — the runner
+    layers its torn-tail repair on top before it appends.
+    """
+    records: Dict[CellKey, CellValues] = {}
+    path = Path(path)
+    if not path.exists():
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                utilisation = entry["u"]
+                key: CellKey = (
+                    str(entry["sc"]),
+                    str(entry["m"]),
+                    float(utilisation) if utilisation is not None else None,
+                    int(entry["i"]),
+                    int(entry["r"]),
+                )
+                values = dict(entry["v"])
+            except (ValueError, KeyError, TypeError):
+                # A truncated/corrupt line: almost certainly the final write
+                # of an interrupted run.  The cell will be recomputed.
+                continue
+            records[key] = values
+    return records
+
+
+def load_campaign_records(
+    artifact_dir: Union[str, Path], spec: CampaignSpec
+) -> Dict[CellKey, CellValues]:
+    """Read a campaign's journalled cells without running (or writing) anything.
+
+    Deliberately does *not* construct a runner: reporting on a campaign that
+    was never executed must not leave a phantom artifact directory behind.
+    """
+    return read_campaign_journal(
+        Path(artifact_dir) / spec.content_key() / CAMPAIGN_JOURNAL_FILENAME
+    )

@@ -1,0 +1,334 @@
+"""``CampaignSpec`` — a declarative grid of scenarios × methods × systems.
+
+A campaign is the scenario-diversity axis of the evaluation pipeline made
+first-class: one frozen, versioned value describing *which* scenarios to
+evaluate, *with which* scheduling methods (:class:`~repro.service.SchedulerSpec`
+strings), over *how many* deterministic systems, at *which* utilisation
+points, with *how many* replications, reporting *which* metrics.
+
+The spec follows the same serialisation discipline as
+:class:`~repro.scenario.Scenario` and the service messages: a lossless JSON
+round-trip through the versioned ``{kind, version, data}`` envelope
+(``kind="repro/campaign"``, version 1) and a :meth:`~CampaignSpec.content_key`
+hash over every field, so a campaign's artifact directory — like a schedule
+cache entry — can never silently mix results from two different grids.
+
+:meth:`CampaignSpec.cells` expands the grid into the canonical, deterministic
+cell order every consumer shares (runner, journal, report): scenario-major,
+then utilisation point, system index, replication and method.  That fixed
+order is what makes resumed and multi-worker campaigns byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.serialization import (
+    content_hash,
+    parse_versioned_payload,
+    versioned_payload,
+)
+from repro.scenario import Scenario, ScenarioLike, create_scenario
+from repro.service import SchedulerSpec
+
+CAMPAIGN_KIND = "repro/campaign"
+CAMPAIGN_VERSION = 1
+
+#: Metrics a campaign can select, in canonical reporting order.
+#: ``schedulable``/``psi``/``upsilon``/``best_psi``/``best_upsilon`` come from
+#: the schedule responses (:mod:`repro.core.metrics` semantics); ``response_time``
+#: is the analytical worst case of :func:`repro.analysis.max_response_time`.
+CAMPAIGN_METRICS: Tuple[str, ...] = (
+    "schedulable",
+    "psi",
+    "upsilon",
+    "best_psi",
+    "best_upsilon",
+    "response_time",
+)
+
+#: Metrics where a *smaller* aggregate wins the leaderboard.
+LOWER_IS_BETTER = frozenset({"response_time"})
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One evaluation cell of the expanded grid (picklable, hashable).
+
+    ``utilisation`` is ``None`` when the campaign has no explicit utilisation
+    sweep — the scenario's own workload utilisation applies.  ``method`` is
+    the canonical spec string, so logically-equal specs name the same cell.
+    """
+
+    scenario: str
+    method: str
+    utilisation: Optional[float]
+    system_index: int
+    replication: int
+
+    def key(self) -> Tuple[str, str, Optional[float], int, int]:
+        """The journal/lookup key of this cell."""
+        return (
+            self.scenario,
+            self.method,
+            self.utilisation,
+            self.system_index,
+            self.replication,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A frozen, versioned description of one evaluation campaign.
+
+    ``scenarios`` entries may be given as anything
+    :func:`repro.scenario.create_scenario` resolves (preset names, payload
+    dicts, inline JSON, ready :class:`~repro.scenario.Scenario` values);
+    ``methods`` entries as spec strings or :class:`SchedulerSpec` values.
+    Both are coerced at construction, so a spec built from CLI strings and one
+    rebuilt from its JSON form compare (and hash) equal.
+    """
+
+    name: str = "campaign"
+    description: str = ""
+    scenarios: Tuple[Scenario, ...] = ("paper-default",)
+    methods: Tuple[SchedulerSpec, ...] = ("static",)
+    n_systems: int = 1
+    utilisations: Tuple[float, ...] = ()
+    replications: int = 1
+    metrics: Tuple[str, ...] = field(default=CAMPAIGN_METRICS)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name or self.name != self.name.strip():
+            raise ValueError(f"campaign name must be a non-empty stripped string, got {self.name!r}")
+        object.__setattr__(
+            self,
+            "scenarios",
+            tuple(create_scenario(entry) for entry in self._as_tuple("scenarios")),
+        )
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"campaign scenario names must be unique, got {names}")
+
+        object.__setattr__(
+            self,
+            "methods",
+            tuple(SchedulerSpec.coerce(entry) for entry in self._as_tuple("methods")),
+        )
+        if not self.methods:
+            raise ValueError("a campaign needs at least one method")
+        method_strings = [str(method) for method in self.methods]
+        if len(set(method_strings)) != len(method_strings):
+            raise ValueError(f"campaign methods must be unique, got {method_strings}")
+
+        for attr in ("n_systems", "replications"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(f"{attr} must be a positive integer, got {value!r}")
+
+        utilisations = tuple(float(u) for u in self._as_tuple("utilisations"))
+        for value in utilisations:
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"utilisations must lie in (0, 1], got {value!r}")
+        if len(set(utilisations)) != len(utilisations):
+            raise ValueError(f"utilisations must be unique, got {list(utilisations)}")
+        object.__setattr__(self, "utilisations", utilisations)
+
+        metrics = tuple(self._as_tuple("metrics"))
+        unknown = set(metrics) - set(CAMPAIGN_METRICS)
+        if unknown:
+            raise ValueError(
+                f"unknown campaign metrics {sorted(unknown)}; "
+                f"available: {list(CAMPAIGN_METRICS)}"
+            )
+        if not metrics:
+            raise ValueError("a campaign needs at least one metric")
+        if len(set(metrics)) != len(metrics):
+            raise ValueError(f"campaign metrics must be unique, got {list(metrics)}")
+        # Normalise to canonical reporting order so logically-equal selections
+        # hash (and therefore cache) identically.
+        object.__setattr__(
+            self, "metrics", tuple(m for m in CAMPAIGN_METRICS if m in metrics)
+        )
+
+    def _as_tuple(self, attr: str) -> Tuple:
+        value = getattr(self, attr)
+        if isinstance(value, (str, Mapping, Scenario, SchedulerSpec)):
+            # A lone entry is almost certainly a mistake that tuple() would
+            # either reject or silently explode character-wise; wrap it.
+            return (value,)
+        return tuple(value)
+
+    # -- the grid ----------------------------------------------------------------
+
+    def utilisation_points(self) -> Tuple[Optional[float], ...]:
+        """The utilisation axis; ``(None,)`` means each scenario's own value."""
+        return self.utilisations if self.utilisations else (None,)
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.scenarios)
+            * len(self.methods)
+            * len(self.utilisation_points())
+            * self.n_systems
+            * self.replications
+        )
+
+    def cells(self) -> Iterator[CampaignCell]:
+        """Expand the grid in the canonical deterministic order.
+
+        Scenario-major, then utilisation, system index, replication, method —
+        the order the runner computes, the journal records and the report
+        aggregates in, at every worker count.
+        """
+        for scenario in self.scenarios:
+            for utilisation in self.utilisation_points():
+                for system_index in range(self.n_systems):
+                    for replication in range(self.replications):
+                        for method in self.methods:
+                            yield CampaignCell(
+                                scenario=scenario.name,
+                                method=str(method),
+                                utilisation=utilisation,
+                                system_index=system_index,
+                                replication=replication,
+                            )
+
+    def scenario_by_name(self, name: str) -> Scenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"campaign has no scenario named {name!r}")
+
+    # -- serialisation -----------------------------------------------------------
+
+    def data_dict(self) -> Dict[str, Any]:
+        """The bare (unversioned) payload; every field enters the content key."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+            "methods": [method.to_dict() for method in self.methods],
+            "n_systems": self.n_systems,
+            "utilisations": list(self.utilisations),
+            "replications": self.replications,
+            "metrics": list(self.metrics),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return versioned_payload(CAMPAIGN_KIND, CAMPAIGN_VERSION, self.data_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        _, data = parse_versioned_payload(
+            dict(payload), CAMPAIGN_KIND, max_version=CAMPAIGN_VERSION
+        )
+        known = {
+            "name",
+            "description",
+            "scenarios",
+            "methods",
+            "n_systems",
+            "utilisations",
+            "replications",
+            "metrics",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown campaign fields: {sorted(unknown)}")
+        return cls(
+            name=data.get("name", "campaign"),
+            description=data.get("description", ""),
+            scenarios=tuple(Scenario.from_dict(entry) for entry in data["scenarios"]),
+            methods=tuple(SchedulerSpec.from_dict(entry) for entry in data["methods"]),
+            n_systems=int(data.get("n_systems", 1)),
+            utilisations=tuple(data.get("utilisations") or ()),
+            replications=int(data.get("replications", 1)),
+            metrics=tuple(data.get("metrics") or CAMPAIGN_METRICS),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def content_key(self) -> str:
+        """Content-address of the full campaign (any field change changes it)."""
+        return content_hash(self.data_dict())
+
+
+#: Anything :func:`create_campaign` can resolve into a spec.
+CampaignLike = Union[str, Mapping, CampaignSpec]
+
+
+def create_campaign(ref: CampaignLike) -> CampaignSpec:
+    """Resolve a campaign reference: a spec, a payload dict, or JSON text.
+
+    Mirrors :func:`repro.scenario.create_scenario` (minus the name registry —
+    campaigns are authored, not preset): strings must be inline JSON or a path
+    handled by the caller.
+    """
+    if isinstance(ref, CampaignSpec):
+        return ref
+    if isinstance(ref, Mapping):
+        return CampaignSpec.from_dict(ref)
+    if not isinstance(ref, str):
+        raise TypeError(f"cannot resolve a campaign from {type(ref).__name__}")
+    text = ref.strip()
+    if not text.startswith("{"):
+        raise ValueError(
+            "campaign references must be inline repro/campaign JSON "
+            f"(or a CampaignSpec/payload dict), got {ref!r}"
+        )
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid inline campaign JSON: {error}") from None
+    return CampaignSpec.from_dict(payload)
+
+
+def load_campaign(ref: CampaignLike) -> CampaignSpec:
+    """Like :func:`create_campaign`, but strings may also name a JSON file.
+
+    This is the resolution every CLI ``--campaign``/``spec`` argument goes
+    through: inline JSON (anything starting with ``{``) parses directly,
+    anything else is read as a path to a ``repro/campaign`` payload file.
+    """
+    if isinstance(ref, str) and not ref.strip().startswith("{"):
+        path = Path(ref)
+        if not path.exists():
+            raise ValueError(f"campaign spec file not found: {ref!r}")
+        return CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+    return create_campaign(ref)
+
+
+def build_campaign(
+    *,
+    name: str = "campaign",
+    description: str = "",
+    scenarios: Sequence[ScenarioLike] = ("paper-default",),
+    methods: Sequence[Union[str, SchedulerSpec]] = ("static",),
+    n_systems: int = 1,
+    utilisations: Sequence[float] = (),
+    replications: int = 1,
+    metrics: Sequence[str] = CAMPAIGN_METRICS,
+) -> CampaignSpec:
+    """Keyword-flavoured constructor used by the CLI's flag-builder mode."""
+    return CampaignSpec(
+        name=name,
+        description=description,
+        scenarios=tuple(scenarios),
+        methods=tuple(methods),
+        n_systems=n_systems,
+        utilisations=tuple(utilisations),
+        replications=replications,
+        metrics=tuple(metrics),
+    )

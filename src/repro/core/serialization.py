@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+from pathlib import Path
 from typing import Any, Dict, List, Tuple, Union
 
 from repro.core.schedule import Schedule, ScheduleEntry
@@ -138,6 +141,45 @@ def parse_versioned_payload(
             f"but this reader only understands versions <= {max_version}"
         )
     return version, payload.get("data")
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload: Any,
+    *,
+    indent: Union[int, None] = None,
+    sort_keys: bool = True,
+) -> Path:
+    """Write ``payload`` as JSON to ``path`` atomically (temp file + rename).
+
+    Every writer goes through its own unique temp file in the destination
+    directory, so concurrent processes sharing one directory can never read a
+    torn/partial file: readers see either the old content or the new content,
+    and the last complete writer wins.  Used by every persistent store in the
+    repository (the schedule cache, experiment artifacts, campaign reports).
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+            handle.write("\n")
+        # mkstemp creates 0600 files; widen to the umask-governed mode a
+        # plain open() would have produced, so shared artifact directories
+        # stay readable by other users/groups.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def canonical_json(obj: Any) -> str:

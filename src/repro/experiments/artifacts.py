@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import io
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.serialization import (
+    atomic_write_json,
     canonical_json,
     content_hash,
     parse_versioned_payload,
@@ -241,13 +241,9 @@ class ArtifactStore:
 
     def save_result(self, name: str, payload: Dict[str, Any]) -> Path:
         """Atomically write ``payload`` to ``<store>/<name>.json``."""
-        path = self.directory / f"{name}.json"
-        tmp_path = path.with_suffix(".json.tmp")
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp_path, path)
-        return path
+        return atomic_write_json(
+            self.directory / f"{name}.json", payload, indent=2, sort_keys=False
+        )
 
     def load_result(self, name: str) -> Optional[Dict[str, Any]]:
         path = self.directory / f"{name}.json"
@@ -272,8 +268,4 @@ class ArtifactStore:
                 "full_config": asdict(config),
             },
         )
-        tmp_path = path.with_suffix(".json.tmp")
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp_path, path)
+        atomic_write_json(path, payload, indent=2, sort_keys=False)

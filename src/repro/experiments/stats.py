@@ -14,6 +14,17 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def median(values: Sequence[float]) -> float:
+    """Sample median (mean of the two central order statistics for even n)."""
+    values = sorted(values)
+    if not values:
+        return float("nan")
+    mid = len(values) // 2
+    if len(values) % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2
+
+
 def std(values: Sequence[float]) -> float:
     values = list(values)
     if len(values) < 2:
@@ -31,6 +42,7 @@ class SeriesStats:
     std: float
     minimum: float
     maximum: float
+    median: float = float("nan")
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "SeriesStats":
@@ -43,6 +55,7 @@ class SeriesStats:
             std=std(values),
             minimum=min(values),
             maximum=max(values),
+            median=median(values),
         )
 
     def confidence_halfwidth(self, z: float = 1.96) -> float:

@@ -76,10 +76,17 @@ def list_scenarios() -> Dict[str, str]:
 
 
 def format_scenario_listing() -> str:
-    """The ``--list-scenarios`` text both CLIs print: ``name  description`` lines."""
-    return "\n".join(
-        f"{name:<20} {description}" for name, description in list_scenarios().items()
-    )
+    """The ``--list-scenarios`` text the CLIs print, one preset per line.
+
+    Each line carries the name, the preset's content key (the hash that
+    addresses its cache entries — so two listings agree on whether a cached
+    schedule is reusable), and the one-line description.
+    """
+    lines = []
+    for name in available_scenarios():
+        scenario = _REGISTRY[name]()
+        lines.append(f"{name:<20} {scenario.content_key()}  {scenario.description}")
+    return "\n".join(lines)
 
 
 def create_scenario(ref: Union[str, Mapping, Scenario]) -> Scenario:

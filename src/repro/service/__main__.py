@@ -8,6 +8,8 @@ versioned JSON payload per line, in request order — to stdout or ``--output``.
 Alternatively ``--scenario`` builds the batch declaratively: requests are
 generated from a named (or inline-JSON) scenario for ``--systems`` system
 indices and each ``--methods`` spec, with no request file at all.
+``--campaign`` goes one level further and expands a whole campaign grid
+(see :mod:`repro.campaign`) into the batch.
 
 Examples::
 
@@ -75,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: static)",
     )
     parser.add_argument(
+        "--campaign",
+        default=None,
+        metavar="SPEC_OR_FILE",
+        help="generate the request batch from a campaign grid (a repro/campaign "
+        "JSON file or inline JSON) instead of a request file; responses come "
+        "back in canonical grid order.  See `python -m repro.campaign` for "
+        "checkpointed runs and aggregated reports",
+    )
+    parser.add_argument(
         "--list-methods",
         action="store_true",
         help="list the registered scheduling methods and exit",
@@ -128,6 +139,19 @@ def scenario_requests(
     return requests
 
 
+def campaign_requests(campaign_ref: str) -> List[ScheduleRequest]:
+    """Build the request batch of ``--campaign`` mode: the whole grid.
+
+    Requests are content-identical to what :class:`~repro.campaign.CampaignRunner`
+    submits, so a service batch and a checkpointed campaign run share
+    schedule-cache entries.
+    """
+    from repro.campaign import cell_request, load_campaign
+
+    spec = load_campaign(campaign_ref)
+    return [cell_request(spec, cell) for cell in spec.cells()]
+
+
 def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
     requests: List[ScheduleRequest] = []
     for line_number, line in enumerate(handle, start=1):
@@ -152,12 +176,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    if (args.input is None) == (args.scenario is None):
-        parser.error("provide exactly one of an input file and --scenario")
+    sources = [
+        source
+        for source in (args.input, args.scenario, args.campaign)
+        if source is not None
+    ]
+    if len(sources) != 1:
+        parser.error("provide exactly one of an input file, --scenario and --campaign")
     if args.systems < 1:
         parser.error(f"--systems must be >= 1, got {args.systems}")
 
-    if args.scenario is not None:
+    if args.campaign is not None:
+        try:
+            requests = campaign_requests(args.campaign)
+        except (ValueError, KeyError) as error:
+            parser.error(f"--campaign: {error}")
+    elif args.scenario is not None:
         try:
             requests = scenario_requests(args.scenario, args.methods, args.systems)
         except (ValueError, KeyError) as error:

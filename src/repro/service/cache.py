@@ -18,13 +18,12 @@ silently recomputed and overwritten; corrupt files are treated as misses.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.core.serialization import (
     PayloadVersionError,
+    atomic_write_json,
     parse_versioned_payload,
     versioned_payload,
 )
@@ -86,30 +85,17 @@ class ScheduleCache:
         return self.directory / f"{key}.json"
 
     def _persist(self, key: str, result: Dict[str, Any]) -> None:
-        # Written unconditionally through a per-writer unique temp file:
-        # concurrent services sharing one directory then cannot truncate each
-        # other mid-write (os.replace is atomic, last writer wins, and every
-        # writer holds an identical result), and a corrupt entry left by a
-        # crashed writer is repaired by the next recompute instead of
-        # shadowing the key forever.
-        path = self._path(key)
+        # Written unconditionally through a per-writer unique temp file
+        # (:func:`~repro.core.serialization.atomic_write_json`): concurrent
+        # services sharing one directory then cannot truncate each other
+        # mid-write (os.replace is atomic, last writer wins, and every writer
+        # holds an identical result), and a corrupt entry left by a crashed
+        # writer is repaired by the next recompute instead of shadowing the
+        # key forever.
         payload = versioned_payload(
             CACHE_ENTRY_KIND, CACHE_ENTRY_VERSION, {"key": key, "result": result}
         )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.directory), prefix=f".{key}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self._path(key), payload)
 
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)

@@ -1,9 +1,12 @@
 """Unit tests for JSON serialisation of task sets and schedules."""
 
+import json
+
 import pytest
 
 from repro.core import MS, IOTask, TaskSet
 from repro.core.serialization import (
+    atomic_write_json,
     schedule_from_json,
     schedule_to_json,
     task_from_dict,
@@ -62,3 +65,34 @@ class TestScheduleRoundTrip:
         result = HeuristicScheduler().schedule_taskset(task_set)
         text = schedule_to_json(result.per_device["dev0"].schedule, task_set)
         assert '"task": "a"' in text
+
+
+class TestAtomicWriteJson:
+    """The shared write-to-temp + os.replace helper every store uses."""
+
+    def test_writes_payload_and_returns_path(self, tmp_path):
+        path = atomic_write_json(tmp_path / "out.json", {"b": 2, "a": 1})
+        assert path == tmp_path / "out.json"
+        assert json.loads(path.read_text()) == {"a": 1, "b": 2}
+        # Sorted keys by default (content-hash friendly).
+        assert path.read_text().index('"a"') < path.read_text().index('"b"')
+
+    def test_overwrite_replaces_content_completely(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"old": "x" * 1000})
+        atomic_write_json(target, {"new": 1})
+        assert json.loads(target.read_text()) == {"new": 1}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_json(tmp_path / "a.json", [1, 2, 3])
+        atomic_write_json(tmp_path / "b.json", [4])
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json", "b.json"]
+
+    def test_failed_write_cleans_up_and_preserves_target(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"intact": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})  # not JSON-serialisable
+        # The original file is untouched and no temp litter remains.
+        assert json.loads(target.read_text()) == {"intact": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
