@@ -1,0 +1,48 @@
+"""Benchmarks of the run-time simulation subsystem (``repro.runtime``).
+
+Two numbers track the subsystem's performance trajectory in
+``BENCH_results.json``:
+
+* **simulated events per second** — the cold path: materialise the scenario,
+  obtain the schedule, execute it on the dedicated-controller model through
+  the discrete-event simulator;
+* **cache-hit latency** — the warm path: answering the same simulation
+  request from the content-addressed response cache, which is what makes
+  long-horizon runtime sweeps near-free on reruns.
+"""
+
+import pytest
+
+from repro.runtime import SimulationRequest, SimulationService, execute_simulation
+from repro.scenario import create_scenario
+
+SCENARIO = create_scenario("short-hyperperiod")
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_execute_simulation_events_per_second(benchmark):
+    request = SimulationRequest(
+        scenario=SCENARIO, execution_model="dedicated-controller"
+    )
+    response = benchmark(execute_simulation, request)
+    assert response.schedulable
+    assert response.matches_offline
+    events_per_second = response.events_processed / benchmark.stats.stats.median
+    print(
+        f"\n{response.events_processed} events/run, "
+        f"{events_per_second:,.0f} simulated events/s"
+    )
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_simulation_cache_hit_latency(benchmark):
+    request = SimulationRequest(
+        scenario=SCENARIO, execution_model="dedicated-controller"
+    )
+    with SimulationService() as service:
+        service.submit(request)  # warm the cache
+
+        responses = benchmark(service.submit_batch, [request] * 10)
+    assert all(response.cache == "hit" for response in responses)
+    per_hit = benchmark.stats.stats.median / len(responses)
+    print(f"\ncache-hit latency: {per_hit * 1e6:.1f} us/request")

@@ -20,7 +20,13 @@ count and a resumed campaign never mixes with a different grid.
 CLI: ``python -m repro.campaign`` (``run``, ``report``, ``--list``).
 """
 
-from repro.campaign.report import OVERALL, REPORT_KIND, REPORT_VERSION, CampaignReport
+from repro.campaign.report import (
+    OVERALL,
+    REPORT_KIND,
+    REPORT_VERSION,
+    CampaignReport,
+    runtime_label,
+)
 from repro.campaign.runner import (
     CAMPAIGN_JOURNAL_FILENAME,
     CAMPAIGN_SPEC_FILENAME,
@@ -31,17 +37,24 @@ from repro.campaign.runner import (
     cell_values,
     load_campaign_records,
     read_campaign_journal,
+    read_campaign_journal_full,
     replication_seed,
     run_campaign,
+    runtime_cell_request,
+    runtime_cell_values,
 )
 from repro.campaign.spec import (
     CAMPAIGN_KIND,
     CAMPAIGN_METRICS,
     CAMPAIGN_VERSION,
     LOWER_IS_BETTER,
+    RUNTIME_LOWER_IS_BETTER,
+    RUNTIME_METRICS,
     CampaignCell,
     CampaignLike,
     CampaignSpec,
+    RuntimeCell,
+    RuntimeSpec,
     build_campaign,
     create_campaign,
     load_campaign,
@@ -54,12 +67,16 @@ __all__ = [
     "CampaignRunner",
     "CampaignResult",
     "CampaignReport",
+    "RuntimeSpec",
+    "RuntimeCell",
     "CAMPAIGN_KIND",
     "CAMPAIGN_VERSION",
     "CAMPAIGN_METRICS",
     "CAMPAIGN_JOURNAL_FILENAME",
     "CAMPAIGN_SPEC_FILENAME",
     "LOWER_IS_BETTER",
+    "RUNTIME_METRICS",
+    "RUNTIME_LOWER_IS_BETTER",
     "OVERALL",
     "REPORT_KIND",
     "REPORT_VERSION",
@@ -69,8 +86,12 @@ __all__ = [
     "run_campaign",
     "load_campaign_records",
     "read_campaign_journal",
+    "read_campaign_journal_full",
     "cell_request",
     "cell_scenario",
     "cell_values",
     "replication_seed",
+    "runtime_cell_request",
+    "runtime_cell_values",
+    "runtime_label",
 ]

@@ -50,6 +50,7 @@ from repro.campaign.spec import (
     build_campaign,
     load_campaign,
 )
+from repro.runtime import format_execution_model_listing
 from repro.scenario import format_scenario_listing
 from repro.scheduling import format_scheduler_listing
 
@@ -59,6 +60,7 @@ _BUILDER_FLAGS = (
     "name",
     "scenarios",
     "methods",
+    "execution_models",
     "systems",
     "utilisations",
     "replications",
@@ -88,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-methods",
         action="store_true",
         help="list the registered scheduling methods and exit",
+    )
+    parser.add_argument(
+        "--list-execution-models",
+        action="store_true",
+        help="list the registered run-time execution models and exit",
     )
     commands = parser.add_subparsers(dest="command")
 
@@ -119,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="scheduler spec strings of the grid (default: static)",
+    )
+    run.add_argument(
+        "--execution-models",
+        nargs="+",
+        default=None,
+        metavar="MODEL",
+        help="add a runtime section: execute every cell's schedule on these "
+        "execution models (see --list-execution-models); omit for a "
+        "schedule-only campaign",
     )
     run.add_argument(
         "--systems",
@@ -264,6 +280,7 @@ def resolve_run_spec(
         utilisations=tuple(args.utilisations) if args.utilisations else (),
         replications=args.replications if args.replications is not None else 1,
         metrics=tuple(args.metrics) if args.metrics else CAMPAIGN_METRICS,
+        execution_models=tuple(args.execution_models) if args.execution_models else (),
     )
 
 
@@ -331,10 +348,15 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             )
         result = runner.run(max_cells=args.max_cells)
 
+    done = f"{len(result.records)}/{spec.n_cells} cells done"
+    if spec.runtime is not None:
+        done += (
+            f", {len(result.runtime_records)}/{spec.n_runtime_cells} "
+            "runtime cells done"
+        )
     print(
         f"campaign {spec.name!r} ({spec.content_key()}): "
-        f"{result.evaluated} evaluated, {result.resumed} resumed, "
-        f"{len(result.records)}/{spec.n_cells} cells done",
+        f"{result.evaluated} evaluated, {result.resumed} resumed, {done}",
         file=sys.stderr,
     )
     if not result.complete:
@@ -356,8 +378,8 @@ def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     except (ValueError, KeyError) as error:
         parser.error(f"invalid campaign spec: {error}")
 
-    records = load_campaign_records(args.artifact_dir, spec)
-    report = CampaignReport.from_records(spec, records)
+    records, runtime_records = load_campaign_records(args.artifact_dir, spec)
+    report = CampaignReport.from_records(spec, records, runtime_records=runtime_records)
     if not report.complete:
         print(
             f"warning: report covers {report.n_cells_aggregated}/"
@@ -373,7 +395,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list or args.list_scenarios or args.list_methods:
+    if args.list or args.list_scenarios or args.list_methods or args.list_execution_models:
         sections: List[str] = []
         if args.list or args.list_scenarios:
             sections.append("scenario presets (name, content key, description):")
@@ -381,6 +403,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.list or args.list_methods:
             sections.append("scheduling methods:")
             sections.append(format_scheduler_listing())
+        if args.list or args.list_execution_models:
+            sections.append("run-time execution models:")
+            sections.append(format_execution_model_listing())
         print("\n".join(sections))
         return 0
 

@@ -24,14 +24,15 @@ from __future__ import annotations
 
 import io
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.analysis import max_response_time
 from repro.campaign.report import CampaignReport
-from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.spec import CampaignCell, CampaignSpec, RuntimeCell
 from repro.core.serialization import atomic_write_json, canonical_json, content_hash
+from repro.runtime import SimulationRequest, SimulationResponse, SimulationService
 from repro.scenario import Scenario
 from repro.service import ScheduleRequest, ScheduleResponse, SchedulerSpec, SchedulingService
 from repro.service.service import DERIVED_SEED_METHODS
@@ -41,6 +42,9 @@ CAMPAIGN_SPEC_FILENAME = "campaign.json"
 
 #: Journal/lookup key of one cell; mirrors :meth:`CampaignCell.key`.
 CellKey = Tuple[str, str, Optional[float], int, int]
+
+#: Journal/lookup key of one run-time cell; mirrors :meth:`RuntimeCell.key`.
+RuntimeCellKey = Tuple[str, str, str, Optional[float], int, int]
 
 #: Per-cell metric values, keyed by metric name (bools stored as bools).
 CellValues = Dict[str, Union[bool, float]]
@@ -109,6 +113,42 @@ def cell_request(spec: CampaignSpec, cell: CampaignCell) -> ScheduleRequest:
     )
 
 
+def runtime_cell_request(spec: CampaignSpec, cell: RuntimeCell) -> SimulationRequest:
+    """Build the :class:`SimulationRequest` one run-time cell submits.
+
+    The embedded schedule question (scenario, system index, method — with the
+    same replication-seed pinning as :func:`cell_request`) is content-identical
+    to the corresponding schedule cell's request, so the simulation reuses the
+    schedule the campaign already computed instead of scheduling again.
+    """
+    if spec.runtime is None:
+        raise ValueError("campaign has no runtime section")
+    schedule_request = cell_request(spec, cell.schedule_cell())
+    return SimulationRequest(
+        scenario=schedule_request.scenario,
+        system_index=cell.system_index,
+        method=schedule_request.spec,
+        execution_model=cell.execution_model,
+        max_events=spec.runtime.max_events,
+        request_id=(
+            f"{spec.name}/{cell.scenario}/{cell.method}/x={cell.execution_model}"
+            f"/u={cell.utilisation}/i={cell.system_index}/r={cell.replication}"
+        ),
+    )
+
+
+def runtime_cell_values(
+    spec: CampaignSpec, response: SimulationResponse
+) -> CellValues:
+    """Extract the runtime section's selected metrics from one simulation."""
+    assert spec.runtime is not None
+    values: CellValues = {}
+    for metric in spec.runtime.metrics:
+        value = getattr(response, metric)
+        values[metric] = value if isinstance(value, (bool, int)) else float(value)
+    return values
+
+
 def cell_values(
     spec: CampaignSpec,
     request: ScheduleRequest,
@@ -156,13 +196,21 @@ class CampaignResult:
     evaluated: int
     #: Cells served from the journal before this call computed anything.
     resumed: int = 0
+    #: Every completed run-time cell, by run-time cell key (empty without a
+    #: ``runtime`` section).  ``evaluated``/``resumed`` count these too.
+    runtime_records: Dict[RuntimeCellKey, CellValues] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
-        return len(self.records) == self.spec.n_cells
+        return (
+            len(self.records) == self.spec.n_cells
+            and len(self.runtime_records) == self.spec.n_runtime_cells
+        )
 
     def report(self) -> CampaignReport:
-        return CampaignReport.from_records(self.spec, self.records)
+        return CampaignReport.from_records(
+            self.spec, self.records, runtime_records=self.runtime_records
+        )
 
 
 @dataclass
@@ -217,9 +265,19 @@ class CampaignRunner:
             self.service = SchedulingService(n_workers=n_workers, cache_dir=cache_dir)
             self._owns_service = True
 
+        # The simulation side (present only when the spec has a runtime
+        # section) schedules through the same SchedulingService, so run-time
+        # cells reuse the schedules their schedule cells just computed.
+        self.simulation: Optional[SimulationService] = None
+        if spec.runtime is not None:
+            self.simulation = SimulationService(
+                n_workers=self.n_workers, scheduling=self.service
+            )
+
         self.directory: Optional[Path] = None
         self._journal: Optional[io.TextIOWrapper] = None
         self._records: Dict[CellKey, CellValues] = {}
+        self._runtime_records: Dict[RuntimeCellKey, CellValues] = {}
         if artifact_dir is not None:
             self.directory = Path(artifact_dir) / spec.content_key()
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -232,6 +290,8 @@ class CampaignRunner:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self.simulation is not None:
+            self.simulation.close()
         if self._owns_service:
             self.service.close()
 
@@ -246,7 +306,7 @@ class CampaignRunner:
     @property
     def completed_cells(self) -> int:
         """Cells already answered by the journal (or earlier runs)."""
-        return len(self._records)
+        return len(self._records) + len(self._runtime_records)
 
     # -- execution ---------------------------------------------------------------
 
@@ -258,15 +318,24 @@ class CampaignRunner:
     ) -> CampaignResult:
         """Execute every pending cell of the grid (in canonical order).
 
-        ``max_cells`` bounds how many *pending* cells this call evaluates —
-        the hook tests use to simulate an interrupt mid-grid; a subsequent
-        call picks up exactly where this one stopped.  ``progress`` is called
-        after every checkpointed chunk.
+        ``max_cells`` bounds how many *pending* cells this call evaluates
+        (schedule cells first, then run-time cells) — the hook tests use to
+        simulate an interrupt mid-grid; a subsequent call picks up exactly
+        where this one stopped.  ``progress`` is called after every
+        checkpointed chunk.
         """
         cells = list(self.spec.cells())
-        resumed = sum(1 for cell in cells if cell.key() in self._records)
+        runtime_cells = list(self.spec.runtime_cells())
+        total = len(cells) + len(runtime_cells)
+        resumed = sum(1 for cell in cells if cell.key() in self._records) + sum(
+            1 for cell in runtime_cells if cell.key() in self._runtime_records
+        )
         pending = [cell for cell in cells if cell.key() not in self._records]
+        runtime_pending = [
+            cell for cell in runtime_cells if cell.key() not in self._runtime_records
+        ]
         if max_cells is not None:
+            runtime_pending = runtime_pending[: max(0, max_cells - len(pending))]
             pending = pending[:max_cells]
 
         evaluated = 0
@@ -291,7 +360,24 @@ class CampaignRunner:
             if progress is not None:
                 progress(
                     _Progress(
-                        done=resumed + evaluated, total=len(cells), evaluated=evaluated
+                        done=resumed + evaluated, total=total, evaluated=evaluated
+                    )
+                )
+
+        # The run-time grid follows the schedule grid, so every simulation's
+        # embedded schedule question is already cached when it runs.
+        for start in range(0, len(runtime_pending), chunk_size):
+            chunk = runtime_pending[start : start + chunk_size]
+            assert self.simulation is not None
+            requests = [runtime_cell_request(self.spec, cell) for cell in chunk]
+            responses = self.simulation.submit_batch(requests)
+            for cell, response in zip(chunk, responses):
+                self._record_runtime(cell, runtime_cell_values(self.spec, response))
+                evaluated += 1
+            if progress is not None:
+                progress(
+                    _Progress(
+                        done=resumed + evaluated, total=total, evaluated=evaluated
                     )
                 )
 
@@ -300,8 +386,17 @@ class CampaignRunner:
             for cell in cells
             if cell.key() in self._records
         }
+        runtime_records = {
+            cell.key(): self._runtime_records[cell.key()]
+            for cell in runtime_cells
+            if cell.key() in self._runtime_records
+        }
         return CampaignResult(
-            spec=self.spec, records=records, evaluated=evaluated, resumed=resumed
+            spec=self.spec,
+            records=records,
+            evaluated=evaluated,
+            resumed=resumed,
+            runtime_records=runtime_records,
         )
 
     # -- the journal -------------------------------------------------------------
@@ -311,9 +406,7 @@ class CampaignRunner:
         if key in self._records:
             return
         self._records[key] = values
-        if self.directory is None:
-            return
-        line = canonical_json(
+        self._journal_line(
             {
                 "sc": cell.scenario,
                 "m": cell.method,
@@ -323,11 +416,34 @@ class CampaignRunner:
                 "v": values,
             }
         )
+
+    def _record_runtime(self, cell: RuntimeCell, values: CellValues) -> None:
+        key = cell.key()
+        if key in self._runtime_records:
+            return
+        self._runtime_records[key] = values
+        # Run-time cells share the journal; the "x" (execution model) field
+        # tells the two record shapes apart on load.
+        self._journal_line(
+            {
+                "sc": cell.scenario,
+                "m": cell.method,
+                "x": cell.execution_model,
+                "u": cell.utilisation,
+                "i": cell.system_index,
+                "r": cell.replication,
+                "v": values,
+            }
+        )
+
+    def _journal_line(self, entry: Dict) -> None:
+        if self.directory is None:
+            return
         if self._journal is None:
             self._journal = open(
                 self.directory / CAMPAIGN_JOURNAL_FILENAME, "a", encoding="utf-8"
             )
-        self._journal.write(line + "\n")
+        self._journal.write(canonical_json(entry) + "\n")
         self._journal.flush()
 
     def _load_journal(self) -> None:
@@ -345,7 +461,9 @@ class CampaignRunner:
                 keep = content.rfind("\n") + 1
                 handle.seek(keep)
                 handle.truncate()
-        self._records.update(read_campaign_journal(path))
+        schedule_records, runtime_records = read_campaign_journal_full(path)
+        self._records.update(schedule_records)
+        self._runtime_records.update(runtime_records)
 
     def _write_spec(self) -> None:
         """Persist the spec payload next to the journal (humans + ``report``)."""
@@ -377,16 +495,21 @@ def run_campaign(
         return runner.run(max_cells=max_cells, progress=progress)
 
 
-def read_campaign_journal(path: Union[str, Path]) -> Dict[CellKey, CellValues]:
+def read_campaign_journal_full(
+    path: Union[str, Path],
+) -> Tuple[Dict[CellKey, CellValues], Dict[RuntimeCellKey, CellValues]]:
     """Parse a ``campaign.jsonl`` journal; unreadable lines are skipped.
 
-    Purely read-only (no truncation, no directory creation) — the runner
-    layers its torn-tail repair on top before it appends.
+    Returns ``(schedule_records, runtime_records)`` — lines carrying an
+    ``"x"`` (execution model) field are run-time cells.  Purely read-only
+    (no truncation, no directory creation) — the runner layers its torn-tail
+    repair on top before it appends.
     """
     records: Dict[CellKey, CellValues] = {}
+    runtime_records: Dict[RuntimeCellKey, CellValues] = {}
     path = Path(path)
     if not path.exists():
-        return records
+        return records, runtime_records
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -395,30 +518,50 @@ def read_campaign_journal(path: Union[str, Path]) -> Dict[CellKey, CellValues]:
             try:
                 entry = json.loads(line)
                 utilisation = entry["u"]
-                key: CellKey = (
-                    str(entry["sc"]),
-                    str(entry["m"]),
-                    float(utilisation) if utilisation is not None else None,
-                    int(entry["i"]),
-                    int(entry["r"]),
-                )
+                utilisation = float(utilisation) if utilisation is not None else None
                 values = dict(entry["v"])
+                if "x" in entry:
+                    runtime_key: RuntimeCellKey = (
+                        str(entry["sc"]),
+                        str(entry["m"]),
+                        str(entry["x"]),
+                        utilisation,
+                        int(entry["i"]),
+                        int(entry["r"]),
+                    )
+                else:
+                    key: CellKey = (
+                        str(entry["sc"]),
+                        str(entry["m"]),
+                        utilisation,
+                        int(entry["i"]),
+                        int(entry["r"]),
+                    )
             except (ValueError, KeyError, TypeError):
                 # A truncated/corrupt line: almost certainly the final write
                 # of an interrupted run.  The cell will be recomputed.
                 continue
-            records[key] = values
-    return records
+            if "x" in entry:
+                runtime_records[runtime_key] = values
+            else:
+                records[key] = values
+    return records, runtime_records
+
+
+def read_campaign_journal(path: Union[str, Path]) -> Dict[CellKey, CellValues]:
+    """The schedule-cell records of a journal (see :func:`read_campaign_journal_full`)."""
+    return read_campaign_journal_full(path)[0]
 
 
 def load_campaign_records(
     artifact_dir: Union[str, Path], spec: CampaignSpec
-) -> Dict[CellKey, CellValues]:
+) -> Tuple[Dict[CellKey, CellValues], Dict[RuntimeCellKey, CellValues]]:
     """Read a campaign's journalled cells without running (or writing) anything.
 
-    Deliberately does *not* construct a runner: reporting on a campaign that
-    was never executed must not leave a phantom artifact directory behind.
+    Returns ``(schedule_records, runtime_records)``.  Deliberately does *not*
+    construct a runner: reporting on a campaign that was never executed must
+    not leave a phantom artifact directory behind.
     """
-    return read_campaign_journal(
+    return read_campaign_journal_full(
         Path(artifact_dir) / spec.content_key() / CAMPAIGN_JOURNAL_FILENAME
     )

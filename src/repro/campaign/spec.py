@@ -31,11 +31,14 @@ from repro.core.serialization import (
     parse_versioned_payload,
     versioned_payload,
 )
+from repro.runtime.models import ExecutionModelSpec
 from repro.scenario import Scenario, ScenarioLike, create_scenario
 from repro.service import SchedulerSpec
 
 CAMPAIGN_KIND = "repro/campaign"
-CAMPAIGN_VERSION = 1
+#: Version 2 added the optional ``runtime`` section; campaigns without one
+#: are still written as version 1 so that version-1 readers keep working.
+CAMPAIGN_VERSION = 2
 
 #: Metrics a campaign can select, in canonical reporting order.
 #: ``schedulable``/``psi``/``upsilon``/``best_psi``/``best_upsilon`` come from
@@ -52,6 +55,108 @@ CAMPAIGN_METRICS: Tuple[str, ...] = (
 
 #: Metrics where a *smaller* aggregate wins the leaderboard.
 LOWER_IS_BETTER = frozenset({"response_time"})
+
+#: Run-time metrics a campaign's ``runtime`` section can select, in canonical
+#: reporting order.  They come from the simulation responses
+#: (:class:`repro.runtime.SimulationResponse` semantics): ``accuracy`` is the
+#: fraction of offline jobs executed exactly on time, ``psi``/``upsilon`` the
+#: *run-time* timing metrics, and the fault counters what the controller's
+#: fault-recovery unit observed.
+RUNTIME_METRICS: Tuple[str, ...] = (
+    "accuracy",
+    "psi",
+    "upsilon",
+    "faults_detected",
+    "skipped_jobs",
+)
+
+#: Run-time metrics where a *smaller* aggregate wins the leaderboard.
+RUNTIME_LOWER_IS_BETTER = frozenset({"skipped_jobs"})
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """The optional run-time section of a campaign: *execute* every schedule.
+
+    ``execution_models`` entries may be spec strings or
+    :class:`~repro.runtime.ExecutionModelSpec` values (coerced at
+    construction); every campaign cell is simulated once per model, so the
+    run-time grid is the schedule grid × models.  ``max_events`` bounds every
+    simulation (purely simulation-side: it never enters the embedded schedule
+    question, so runtime cells stay content-identical to their schedule cells
+    and reuse the campaign's cached schedules).  There is deliberately no
+    per-campaign scheduling-horizon knob for the same reason.
+    """
+
+    execution_models: Tuple[ExecutionModelSpec, ...] = ("dedicated-controller",)
+    metrics: Tuple[str, ...] = field(default=RUNTIME_METRICS)
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        models = self.execution_models
+        if isinstance(models, (str, Mapping, SchedulerSpec)):
+            models = (models,)
+        coerced = tuple(
+            ExecutionModelSpec.coerce(entry)
+            if not isinstance(entry, Mapping)
+            else ExecutionModelSpec.from_dict(dict(entry))
+            for entry in models
+        )
+        if not coerced:
+            raise ValueError("a runtime section needs at least one execution model")
+        model_strings = [str(model) for model in coerced]
+        if len(set(model_strings)) != len(model_strings):
+            raise ValueError(
+                f"runtime execution models must be unique, got {model_strings}"
+            )
+        object.__setattr__(self, "execution_models", coerced)
+
+        metrics = tuple(self.metrics)
+        unknown = set(metrics) - set(RUNTIME_METRICS)
+        if unknown:
+            raise ValueError(
+                f"unknown runtime metrics {sorted(unknown)}; "
+                f"available: {list(RUNTIME_METRICS)}"
+            )
+        if not metrics:
+            raise ValueError("a runtime section needs at least one metric")
+        if len(set(metrics)) != len(metrics):
+            raise ValueError(f"runtime metrics must be unique, got {list(metrics)}")
+        object.__setattr__(
+            self, "metrics", tuple(m for m in RUNTIME_METRICS if m in metrics)
+        )
+
+        if self.max_events is not None and (
+            not isinstance(self.max_events, int)
+            or isinstance(self.max_events, bool)
+            or self.max_events <= 0
+        ):
+            raise ValueError(
+                f"runtime max_events must be positive, got {self.max_events!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "execution_models": [model.to_dict() for model in self.execution_models],
+            "metrics": list(self.metrics),
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RuntimeSpec":
+        known = {"execution_models", "metrics", "max_events"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown runtime fields: {sorted(unknown)}")
+        return cls(
+            execution_models=tuple(
+                ExecutionModelSpec.from_dict(entry)
+                for entry in (data.get("execution_models") or ())
+            )
+            or ("dedicated-controller",),
+            metrics=tuple(data.get("metrics") or RUNTIME_METRICS),
+            max_events=data.get("max_events"),
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +186,43 @@ class CampaignCell:
 
 
 @dataclass(frozen=True)
+class RuntimeCell:
+    """One run-time simulation cell: a schedule cell × an execution model.
+
+    ``execution_model`` is the canonical model spec string, so logically
+    equal model specs name the same cell.
+    """
+
+    scenario: str
+    method: str
+    execution_model: str
+    utilisation: Optional[float]
+    system_index: int
+    replication: int
+
+    def key(self) -> Tuple[str, str, str, Optional[float], int, int]:
+        """The journal/lookup key of this cell."""
+        return (
+            self.scenario,
+            self.method,
+            self.execution_model,
+            self.utilisation,
+            self.system_index,
+            self.replication,
+        )
+
+    def schedule_cell(self) -> CampaignCell:
+        """The schedule cell this simulation executes the schedule of."""
+        return CampaignCell(
+            scenario=self.scenario,
+            method=self.method,
+            utilisation=self.utilisation,
+            system_index=self.system_index,
+            replication=self.replication,
+        )
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """A frozen, versioned description of one evaluation campaign.
 
@@ -100,6 +242,9 @@ class CampaignSpec:
     utilisations: Tuple[float, ...] = ()
     replications: int = 1
     metrics: Tuple[str, ...] = field(default=CAMPAIGN_METRICS)
+    #: Optional run-time section: when set, every cell's schedule is also
+    #: *executed* on each listed execution model (see :class:`RuntimeSpec`).
+    runtime: Optional[RuntimeSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name or self.name != self.name.strip():
@@ -156,6 +301,14 @@ class CampaignSpec:
             self, "metrics", tuple(m for m in CAMPAIGN_METRICS if m in metrics)
         )
 
+        if isinstance(self.runtime, Mapping):
+            object.__setattr__(self, "runtime", RuntimeSpec.from_dict(self.runtime))
+        if self.runtime is not None and not isinstance(self.runtime, RuntimeSpec):
+            raise ValueError(
+                f"campaign runtime must be a RuntimeSpec (or its dict form), "
+                f"got {self.runtime!r}"
+            )
+
     def _as_tuple(self, attr: str) -> Tuple:
         value = getattr(self, attr)
         if isinstance(value, (str, Mapping, Scenario, SchedulerSpec)):
@@ -200,6 +353,33 @@ class CampaignSpec:
                                 replication=replication,
                             )
 
+    @property
+    def n_runtime_cells(self) -> int:
+        """Cells of the run-time grid (0 without a ``runtime`` section)."""
+        if self.runtime is None:
+            return 0
+        return self.n_cells * len(self.runtime.execution_models)
+
+    def runtime_cells(self) -> Iterator[RuntimeCell]:
+        """Expand the run-time grid: schedule-cell order, models innermost.
+
+        Like :meth:`cells`, this order is canonical — the runner simulates,
+        the journal records and the report aggregates in it, at every worker
+        count.  Empty when the campaign has no ``runtime`` section.
+        """
+        if self.runtime is None:
+            return
+        for cell in self.cells():
+            for model in self.runtime.execution_models:
+                yield RuntimeCell(
+                    scenario=cell.scenario,
+                    method=cell.method,
+                    execution_model=str(model),
+                    utilisation=cell.utilisation,
+                    system_index=cell.system_index,
+                    replication=cell.replication,
+                )
+
     def scenario_by_name(self, name: str) -> Scenario:
         for scenario in self.scenarios:
             if scenario.name == name:
@@ -209,8 +389,13 @@ class CampaignSpec:
     # -- serialisation -----------------------------------------------------------
 
     def data_dict(self) -> Dict[str, Any]:
-        """The bare (unversioned) payload; every field enters the content key."""
-        return {
+        """The bare (unversioned) payload; every field enters the content key.
+
+        The ``runtime`` key is present only when the section is set, so
+        campaigns without one keep their historical payloads — and therefore
+        their content keys and artifact directories.
+        """
+        data = {
             "name": self.name,
             "description": self.description,
             "scenarios": [scenario.to_dict() for scenario in self.scenarios],
@@ -220,9 +405,15 @@ class CampaignSpec:
             "replications": self.replications,
             "metrics": list(self.metrics),
         }
+        if self.runtime is not None:
+            data["runtime"] = self.runtime.to_dict()
+        return data
 
     def to_dict(self) -> Dict[str, Any]:
-        return versioned_payload(CAMPAIGN_KIND, CAMPAIGN_VERSION, self.data_dict())
+        # Campaigns without a runtime section serialise exactly as version 1
+        # did, so payloads only claim the newer version when they need it.
+        version = CAMPAIGN_VERSION if self.runtime is not None else 1
+        return versioned_payload(CAMPAIGN_KIND, version, self.data_dict())
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
@@ -238,10 +429,12 @@ class CampaignSpec:
             "utilisations",
             "replications",
             "metrics",
+            "runtime",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown campaign fields: {sorted(unknown)}")
+        runtime = data.get("runtime")
         return cls(
             name=data.get("name", "campaign"),
             description=data.get("description", ""),
@@ -251,6 +444,7 @@ class CampaignSpec:
             utilisations=tuple(data.get("utilisations") or ()),
             replications=int(data.get("replications", 1)),
             metrics=tuple(data.get("metrics") or CAMPAIGN_METRICS),
+            runtime=RuntimeSpec.from_dict(runtime) if runtime is not None else None,
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -320,8 +514,18 @@ def build_campaign(
     utilisations: Sequence[float] = (),
     replications: int = 1,
     metrics: Sequence[str] = CAMPAIGN_METRICS,
+    execution_models: Sequence[Union[str, ExecutionModelSpec]] = (),
+    runtime: Optional[RuntimeSpec] = None,
 ) -> CampaignSpec:
-    """Keyword-flavoured constructor used by the CLI's flag-builder mode."""
+    """Keyword-flavoured constructor used by the CLI's flag-builder mode.
+
+    ``execution_models`` is the convenience form of the ``runtime`` section:
+    a non-empty sequence builds a default :class:`RuntimeSpec` around it.
+    """
+    if execution_models and runtime is not None:
+        raise ValueError("pass either execution_models or a runtime section, not both")
+    if execution_models:
+        runtime = RuntimeSpec(execution_models=tuple(execution_models))
     return CampaignSpec(
         name=name,
         description=description,
@@ -331,4 +535,5 @@ def build_campaign(
         utilisations=tuple(utilisations),
         replications=replications,
         metrics=tuple(metrics),
+        runtime=runtime,
     )

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered scenario presets and exit",
     )
+    parser.add_argument(
+        "--list-execution-models",
+        action="store_true",
+        help="list the registered run-time execution models and exit "
+        "(simulated via `python -m repro.runtime`)",
+    )
     return parser
 
 
@@ -166,11 +172,15 @@ def run_campaign_cli(parser: argparse.ArgumentParser, args: argparse.Namespace) 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.list_methods or args.list_scenarios:
+    if args.list_methods or args.list_scenarios or args.list_execution_models:
         if args.list_methods:
             print(format_scheduler_listing())
         if args.list_scenarios:
             print(format_scenario_listing())
+        if args.list_execution_models:
+            from repro.runtime import format_execution_model_listing
+
+            print(format_execution_model_listing())
         return 0
     if args.campaign is not None:
         if args.figure is not None:

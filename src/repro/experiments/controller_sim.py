@@ -1,16 +1,25 @@
 """Supporting experiment: run-time execution of the offline schedule.
 
 This experiment backs the architectural argument of Sections I and IV rather
-than a numbered figure: it executes the same offline schedule in two ways and
-compares the run-time timing accuracy.
+than a numbered figure: it executes the same offline schedule under two
+execution models of :mod:`repro.runtime` and compares the run-time timing
+accuracy.
 
-* **Dedicated controller** — the schedule is loaded into the I/O controller
-  model; the synchroniser triggers every job from the global timer, so the
-  run-time start times match the offline ``kappa`` exactly.
-* **CPU-instigated I/O** — each I/O request is sent by an application CPU
-  across the NoC at the job's scheduled start time; the operation only begins
-  when the request reaches the I/O tile, after per-hop latency and arbitration
-  jitter from competing traffic, so exactness is lost and the accuracy drops.
+* **Dedicated controller** (``dedicated-controller``) — the schedule is
+  loaded into the I/O controller model; the synchroniser triggers every job
+  from the global timer, so the run-time start times match the offline
+  ``kappa`` exactly.
+* **CPU-instigated I/O** (``cpu-instigated``) — each I/O request is sent by
+  an application CPU across the NoC at the job's scheduled start time; the
+  operation only begins when the request reaches the I/O tile, after per-hop
+  latency and arbitration jitter from competing traffic, so exactness is lost
+  and the accuracy drops.
+
+Since the ``repro.runtime`` subsystem owns the execution models, this module
+is a thin consumer: it picks a schedulable workload, issues **two**
+:class:`~repro.runtime.SimulationRequest` values against one
+:class:`~repro.runtime.SimulationService`, and folds the responses into the
+historical :class:`ControllerSimResult` shape.
 """
 
 from __future__ import annotations
@@ -18,24 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.core.metrics import aggregate_psi, aggregate_upsilon
-from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.task import TaskSet
 from repro.experiments.config import ExperimentConfig
-from repro.hardware.faults import FaultInjector
-from repro.noc.packet import Packet
-from repro.scenario import (
-    Platform,
-    Scenario,
-    ScenarioLike,
-    WorkloadSpec,
-    build_platform,
-    create_scenario,
-)
+from repro.runtime import SimulationRequest, SimulationService
+from repro.scenario import Scenario, ScenarioLike, WorkloadSpec, create_scenario
 from repro.service import ScheduleRequest, SchedulerSpec, SchedulingService
-from repro.sim.engine import Simulator
 from repro.taskgen import SystemGenerator
 
 
@@ -71,57 +67,29 @@ class ControllerSimResult:
         ]
 
 
-def _remote_cpu_execution(
-    task_set: TaskSet,
-    schedules: Dict[str, Schedule],
-    platform: Platform,
+def _pick_schedulable_system(
+    service: SchedulingService,
+    scenario: Scenario,
+    utilisation: float,
+    seed: int,
     *,
-    seed: int = 0,
-) -> Dict[str, Schedule]:
-    """Execute the schedule with I/O requests instigated by remote CPUs.
+    attempts: int = 50,
+) -> TaskSet:
+    """Draw candidate systems until the ``static`` method schedules one.
 
-    Each job's request is injected at its offline start time from a CPU tile
-    chosen per task; background traffic (``background_packets_per_job`` of the
-    platform spec) shares the mesh links.  The I/O operation starts when the
-    request is delivered and the device is free.
+    The schedule responses land in the service's content-addressed cache, so
+    the simulation requests that follow re-use the winning schedule for free.
     """
-    network = platform.network
-    background_packets_per_job = platform.spec.background_packets_per_job
-    rng = np.random.default_rng(seed)
-    io_tile = platform.io_tile
-    cpu_tiles = platform.cpu_tiles()
-
-    cpu_of_task = {
-        task.name: cpu_tiles[int(rng.integers(0, len(cpu_tiles)))] for task in task_set
-    }
-
-    # Requests sorted by injection (offline start) time, so link state evolves
-    # chronologically; background packets are injected just before each request
-    # to model competing application traffic.
-    all_entries: List[ScheduleEntry] = [
-        entry for schedule in schedules.values() for entry in schedule.sorted_entries()
-    ]
-    all_entries.sort(key=lambda e: e.start)
-
-    runtime: Dict[str, Schedule] = {device: Schedule(device=device) for device in schedules}
-    device_free_at: Dict[str, int] = {device: 0 for device in schedules}
-
-    for entry in all_entries:
-        source = cpu_of_task[entry.job.task.name]
-        for _ in range(background_packets_per_job):
-            bg_source = cpu_tiles[int(rng.integers(0, len(cpu_tiles)))]
-            network.send(
-                Packet(source=bg_source, destination=io_tile, size_flits=8, kind="background"),
-                max(0, entry.start - int(rng.integers(0, 5))),
-            )
-        request = Packet(source=source, destination=io_tile, size_flits=4, kind="io-request")
-        delivered = network.send(request, entry.start)
-        device = entry.job.device
-        start = max(delivered, device_free_at[device])
-        runtime[device].add(ScheduleEntry(job=entry.job, start=start))
-        device_free_at[device] = start + entry.job.wcet
-
-    return runtime
+    generator = SystemGenerator(scenario.workload.generator, rng=seed)
+    spec = SchedulerSpec.parse("static")
+    for _ in range(attempts):
+        candidate = generator.generate(utilisation, scenario.workload.n_tasks)
+        response = service.submit(ScheduleRequest(task_set=candidate, spec=spec))
+        if response.schedulable:
+            return candidate
+    raise RuntimeError(
+        f"could not generate a schedulable system at utilisation {utilisation}"
+    )
 
 
 def run_controller_sim(
@@ -160,53 +128,46 @@ def run_controller_sim(
         )
     if utilisation is None:
         utilisation = scenario.workload.utilisation
-    generator = SystemGenerator(scenario.workload.generator, rng=seed)
 
-    # The offline schedule is obtained through the scheduling service — the
-    # same facade the sweeps and CLIs use — and rebuilt from the response's
-    # serialised form, exercising the full host-to-controller exchange path.
-    spec = SchedulerSpec.parse("static")
-    task_set = None
-    offline = None
-    with SchedulingService() as service:
-        for attempt in range(50):
-            candidate = generator.generate(utilisation, scenario.workload.n_tasks)
-            response = service.submit(ScheduleRequest(task_set=candidate, spec=spec))
-            if response.schedulable:
-                task_set, offline = candidate, response
-                break
-    if task_set is None or offline is None:
-        raise RuntimeError(
-            f"could not generate a schedulable system at utilisation {utilisation}"
-        )
+    with SchedulingService() as scheduling:
+        task_set = _pick_schedulable_system(scheduling, scenario, utilisation, seed)
 
-    schedules = offline.device_schedules(task_set)
-
-    # Platform and faults are built from the scenario's declarative specs; the
-    # same description drives both execution paths.
-    platform = build_platform(
-        scenario.platform,
-        fault_injector=FaultInjector(list(scenario.faults.faults)),
-    )
-    controller = platform.controller
-    controller.preload_taskset(task_set)
-    controller.load_system_schedule(schedules)
-    controller_run = controller.run(Simulator())
-
-    remote_schedules = _remote_cpu_execution(task_set, schedules, platform, seed=seed)
-    network = platform.network
+        # Two requests to the runtime subsystem — same workload, same offline
+        # method, two execution models.  The explicit task_set pins the
+        # generated workload; platform and faults come from the scenario.
+        with SimulationService(scheduling=scheduling) as runtime:
+            dedicated, remote = runtime.submit_batch(
+                [
+                    SimulationRequest(
+                        scenario=scenario,
+                        task_set=task_set,
+                        method="static",
+                        execution_model="dedicated-controller",
+                        seed=seed,
+                        request_id="controller-sim/dedicated",
+                    ),
+                    SimulationRequest(
+                        scenario=scenario,
+                        task_set=task_set,
+                        method="static",
+                        execution_model="cpu-instigated",
+                        seed=seed,
+                        request_id="controller-sim/remote-cpu",
+                    ),
+                ]
+            )
 
     result = ControllerSimResult(
-        offline_psi=offline.psi,
-        controller_psi=controller_run.psi,
-        controller_upsilon=controller_run.upsilon,
-        controller_matches_offline=controller_run.matches_offline,
-        remote_cpu_psi=aggregate_psi(remote_schedules.values()),
-        remote_cpu_upsilon=aggregate_upsilon(remote_schedules.values()),
-        mean_noc_latency=network.mean_latency(kind="io-request"),
-        max_noc_latency=network.max_latency(kind="io-request"),
-        faults_detected=controller_run.faults_detected,
-        skipped_jobs=controller_run.skipped_jobs,
+        offline_psi=dedicated.offline_psi,
+        controller_psi=dedicated.psi,
+        controller_upsilon=dedicated.upsilon,
+        controller_matches_offline=dedicated.matches_offline,
+        remote_cpu_psi=remote.psi,
+        remote_cpu_upsilon=remote.upsilon,
+        mean_noc_latency=remote.mean_noc_latency,
+        max_noc_latency=remote.max_noc_latency,
+        faults_detected=dedicated.faults_detected,
+        skipped_jobs=dedicated.skipped_jobs,
     )
     if verbose:
         from repro.experiments.stats import format_table

@@ -163,6 +163,7 @@ class IOController:
         *,
         auto_request: bool = True,
         request_jobs: Optional[Sequence[IOJob]] = None,
+        max_events: Optional[int] = None,
     ) -> ControllerRunResult:
         """Execute the loaded schedule and measure the run-time timing accuracy.
 
@@ -170,7 +171,9 @@ class IOController:
         enabling every scheduled task through the request channel at the
         release time of its first job; ``request_jobs`` can restrict requests
         to a subset (jobs of un-requested tasks are then handled by the
-        fault-recovery unit).
+        fault-recovery unit).  ``max_events`` bounds the simulation (forwarded
+        to :meth:`Simulator.run`); a run cut short by it leaves
+        ``simulator.exhausted`` set.
         """
         if not hasattr(self, "_offline"):
             raise RuntimeError("load_system_schedule() must be called before run()")
@@ -202,7 +205,7 @@ class IOController:
             horizon = max(
                 (schedule.makespan for schedule in self._offline.values()), default=0
             )
-        simulator.run(until=horizon)
+        simulator.run(until=horizon, max_events=max_events)
 
         return self._collect_results()
 

@@ -1,0 +1,458 @@
+"""Execution models — *how* an offline schedule is executed at run time.
+
+The paper's architectural argument (Sections I and IV) is exactly a choice of
+execution model: a **dedicated I/O controller** triggers every job from the
+global timer and reproduces the offline start times bit-exactly, while
+**CPU-instigated I/O** sends each request across the NoC and pays per-hop
+latency plus arbitration jitter.  This module makes that choice *data*: every
+model registers a factory under a short name (mirroring
+:mod:`repro.scheduling.registry`), and the run-time subsystem resolves
+``"name:key=value,..."`` spec strings through :class:`ExecutionModelSpec`
+without knowing any concrete class — a new run-time architecture plugs into
+every simulation request, campaign and CLI by registering itself.
+
+Built-in models:
+
+``dedicated-controller``
+    The paper's architecture: the schedule is pre-loaded into the I/O
+    controller and the synchroniser triggers every job from the global timer.
+``cpu-instigated``
+    Each I/O request is injected by an application CPU at the job's offline
+    start time, behind ``background_packets_per_job`` competing packets, so
+    the operation starts only after delivery — exactness collapses.
+``cpu-instigated-prioritized``
+    As ``cpu-instigated``, but I/O requests win link arbitration against the
+    background burst (the burst is injected behind the request instead of in
+    front of it): jitter shrinks, yet the deterministic per-hop latency still
+    shifts every start time.
+
+Every model's :meth:`~ExecutionModel.execute` is pure in its arguments (the
+only randomness flows through the explicit ``seed``), which is what lets
+:mod:`repro.runtime.service` content-address simulation responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.metrics import aggregate_psi, aggregate_upsilon
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.task import TaskSet
+from repro.noc.packet import Packet
+from repro.scenario import Platform
+from repro.service.spec import SchedulerSpec
+from repro.sim.engine import Simulator
+
+#: name -> factory.  Aliases map to the same factory object.
+_REGISTRY: Dict[str, Callable[..., "ExecutionModel"]] = {}
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one execution-model run produced (plain data + schedules).
+
+    ``runtime_schedules`` hold the *actual* start times observed at run time;
+    ``offline_schedules`` the start times the offline method computed.  The
+    derived properties (`psi`, `upsilon`, `accuracy`, `matches_offline`) are
+    the run-time counterparts of the offline metrics.
+    """
+
+    runtime_schedules: Dict[str, Schedule]
+    offline_schedules: Dict[str, Schedule]
+    executed_jobs: int
+    skipped_jobs: int
+    faults_detected: int
+    mean_noc_latency: float = 0.0
+    max_noc_latency: int = 0
+    events_processed: int = 0
+    #: True when the simulator's ``max_events`` budget ran out mid-horizon.
+    exhausted: bool = False
+    #: Stored trace events per kind (structured summary, not the full trace).
+    trace_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def psi(self) -> float:
+        """Run-time Psi (fraction of executed jobs started at their ideal times)."""
+        return aggregate_psi(self.runtime_schedules.values())
+
+    @property
+    def upsilon(self) -> float:
+        """Run-time Upsilon of the executed jobs."""
+        return aggregate_upsilon(self.runtime_schedules.values())
+
+    @property
+    def offline_jobs(self) -> int:
+        return sum(len(schedule.entries) for schedule in self.offline_schedules.values())
+
+    def start_time_deviations(self) -> List[int]:
+        """Per-job |runtime start - offline start| for every executed job."""
+        deviations: List[int] = []
+        for device, runtime in self.runtime_schedules.items():
+            offline = self.offline_schedules.get(device)
+            if offline is None:
+                continue
+            for entry in runtime.entries:
+                if entry.job in offline:
+                    deviations.append(abs(entry.start - offline.start_of(entry.job)))
+        return deviations
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of *offline* jobs executed exactly at their offline start.
+
+        Jobs skipped at run time (fault recovery, horizon cut-offs) count
+        against accuracy, so a model cannot look accurate by dropping work.
+        """
+        total = self.offline_jobs
+        if total == 0:
+            return 1.0
+        exact = sum(1 for deviation in self.start_time_deviations() if deviation == 0)
+        return exact / total
+
+    @property
+    def matches_offline(self) -> bool:
+        """True iff every executed job started exactly at its offline start time."""
+        for device, runtime in self.runtime_schedules.items():
+            offline = self.offline_schedules.get(device)
+            if offline is None:
+                return False
+            for entry in runtime.entries:
+                if entry.job not in offline or offline.start_of(entry.job) != entry.start:
+                    return False
+        return True
+
+
+class ExecutionModel:
+    """Interface every execution model implements (duck-typed; this class
+    documents the contract and provides the shared NoC statistics helper)."""
+
+    #: Registry name the model was created under (set by subclasses).
+    name: str = ""
+
+    def execute(
+        self,
+        task_set: TaskSet,
+        schedules: Dict[str, Schedule],
+        platform: Platform,
+        *,
+        seed: int = 0,
+        max_events: Optional[int] = None,
+    ) -> ExecutionOutcome:
+        raise NotImplementedError
+
+
+# -- the registry (mirrors repro.scheduling.registry) ---------------------------
+
+
+def register_execution_model(
+    name: str,
+    factory: Optional[Callable[..., ExecutionModel]] = None,
+    *,
+    aliases: Sequence[str] = (),
+    overwrite: bool = False,
+):
+    """Register an execution-model factory under ``name`` (plus aliases).
+
+    Usable as a class decorator or called directly with a factory.  Duplicate
+    names raise ``ValueError`` unless ``overwrite=True``.
+    """
+
+    def _register(target: Callable[..., ExecutionModel]) -> Callable[..., ExecutionModel]:
+        keys = (name, *aliases)
+        if not overwrite:
+            for key in keys:
+                if key in _REGISTRY and _REGISTRY[key] is not target:
+                    raise ValueError(
+                        f"execution model {key!r} is already registered "
+                        f"(to {_REGISTRY[key]!r}); pass overwrite=True to replace it"
+                    )
+        for key in keys:
+            _REGISTRY[key] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_execution_model(name: str) -> None:
+    """Remove ``name`` from the registry (aliases must be removed separately)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown execution model {name!r}")
+    del _REGISTRY[name]
+
+
+def execution_model_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def available_execution_models() -> Tuple[str, ...]:
+    """Sorted names (including aliases) of every registered execution model."""
+    return tuple(sorted(_REGISTRY))
+
+
+def list_execution_models() -> Dict[str, str]:
+    """Name -> one-line description of every registered model (CLI listings)."""
+    listing = {}
+    for name in available_execution_models():
+        factory = _REGISTRY[name]
+        doc = (factory.__doc__ or "").strip().splitlines()
+        listing[name] = doc[0] if doc else ""
+    return listing
+
+
+def format_execution_model_listing() -> str:
+    """The ``--list-execution-models`` text the CLIs print, one model per line."""
+    return "\n".join(
+        f"{name:<28} {description}"
+        for name, description in list_execution_models().items()
+    )
+
+
+def create_execution_model(name: str, **overrides: Any) -> ExecutionModel:
+    """Instantiate the execution model registered under ``name``.
+
+    Keyword ``overrides`` are forwarded to the factory verbatim — the hook
+    spec strings such as ``"cpu-instigated:jitter_window=2"`` resolve
+    through.  Unknown names raise ``KeyError`` listing the registered models;
+    a rejected keyword raises ``TypeError`` naming the factory.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution model {name!r}; "
+            f"registered: {', '.join(available_execution_models())}"
+        ) from None
+    try:
+        return factory(**overrides)
+    except TypeError as error:
+        raise TypeError(
+            f"execution model {name!r} (factory {factory!r}) rejected "
+            f"keyword overrides {sorted(overrides)}: {error}"
+        ) from error
+
+
+@dataclass(frozen=True)
+class ExecutionModelSpec(SchedulerSpec):
+    """An execution-model name plus typed options, in the spec-string grammar.
+
+    Reuses the (property-tested) ``"name:key=value,..."`` grammar and the
+    lossless parse/format/dict round-trips of
+    :class:`~repro.service.spec.SchedulerSpec`; only :meth:`resolve` differs —
+    it goes through the execution-model registry instead of the scheduler
+    registry.
+    """
+
+    @classmethod
+    def coerce(cls, spec: Union[str, SchedulerSpec]) -> "ExecutionModelSpec":
+        """Accept a spec string, an :class:`ExecutionModelSpec`, or a plain
+        :class:`SchedulerSpec` (rewrapped — the grammar is shared)."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, SchedulerSpec):
+            return cls(name=spec.name, options=spec.options)
+        return cls.parse(spec)
+
+    def resolve(self) -> ExecutionModel:
+        return create_execution_model(self.name, **self.options_dict())
+
+
+# -- built-in models ------------------------------------------------------------
+
+
+@register_execution_model("dedicated-controller", aliases=("controller",))
+class DedicatedControllerModel(ExecutionModel):
+    """the paper's dedicated I/O controller: timer-triggered, bit-exact starts"""
+
+    name = "dedicated-controller"
+
+    def execute(
+        self,
+        task_set: TaskSet,
+        schedules: Dict[str, Schedule],
+        platform: Platform,
+        *,
+        seed: int = 0,
+        max_events: Optional[int] = None,
+    ) -> ExecutionOutcome:
+        controller = platform.controller
+        controller.preload_taskset(task_set)
+        controller.load_system_schedule(schedules)
+        simulator = Simulator()
+        run = controller.run(simulator, max_events=max_events)
+        return ExecutionOutcome(
+            runtime_schedules=run.runtime_schedules,
+            offline_schedules=run.offline_schedules,
+            executed_jobs=run.executed_jobs,
+            skipped_jobs=run.skipped_jobs,
+            faults_detected=run.faults_detected,
+            # No run-time NoC traffic: triggering is local to the controller.
+            mean_noc_latency=0.0,
+            max_noc_latency=0,
+            events_processed=simulator.events_processed,
+            exhausted=simulator.exhausted,
+            trace_counts=simulator.trace.counts_by_kind(),
+        )
+
+
+class _RemoteCPUBase(ExecutionModel):
+    """Shared machinery of the CPU-instigated models.
+
+    Each job's I/O request is injected from a per-task CPU tile; a burst of
+    ``background_packets_per_job`` competing packets (platform spec) shares
+    the mesh links around every request.  Subclasses decide whether the burst
+    is injected *in front of* the request (plain CPU-instigated: the request
+    queues behind it, start times jitter) or *behind* it (prioritized: the
+    request wins arbitration, only the deterministic path latency remains).
+    """
+
+    #: Inject the background burst before the I/O request (plain model).
+    background_first = True
+
+    def __init__(
+        self,
+        *,
+        request_size_flits: int = 4,
+        background_size_flits: int = 8,
+        jitter_window: int = 5,
+    ):
+        for label, value in (
+            ("request_size_flits", request_size_flits),
+            ("background_size_flits", background_size_flits),
+        ):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(f"{label} must be a positive integer, got {value!r}")
+        if not isinstance(jitter_window, int) or isinstance(jitter_window, bool) or jitter_window < 1:
+            raise ValueError(f"jitter_window must be a positive integer, got {jitter_window!r}")
+        self.request_size_flits = request_size_flits
+        self.background_size_flits = background_size_flits
+        self.jitter_window = jitter_window
+
+    def execute(
+        self,
+        task_set: TaskSet,
+        schedules: Dict[str, Schedule],
+        platform: Platform,
+        *,
+        seed: int = 0,
+        max_events: Optional[int] = None,
+    ) -> ExecutionOutcome:
+        network = platform.network
+        background_per_job = platform.spec.background_packets_per_job
+        rng = np.random.default_rng(seed)
+        io_tile = platform.io_tile
+        cpu_tiles = platform.cpu_tiles()
+
+        cpu_of_task = {
+            task.name: cpu_tiles[int(rng.integers(0, len(cpu_tiles)))] for task in task_set
+        }
+
+        # Requests sorted by injection (offline start) time, so link state
+        # evolves chronologically.
+        all_entries: List[ScheduleEntry] = [
+            entry for schedule in schedules.values() for entry in schedule.sorted_entries()
+        ]
+        all_entries.sort(key=lambda e: e.start)
+
+        runtime: Dict[str, Schedule] = {
+            device: Schedule(device=device) for device in schedules
+        }
+        device_free_at: Dict[str, int] = {device: 0 for device in schedules}
+
+        # Every packet injection (request or background) is one simulation
+        # event, so the ``max_events`` budget bounds the NoC work exactly as
+        # it bounds the controller's event loop; jobs the budget cuts off
+        # never execute and count as skipped.
+        events_per_job = 1 + background_per_job
+        executed = 0
+        exhausted = False
+        for entry in all_entries:
+            if (
+                max_events is not None
+                and len(network.delivered) + events_per_job > max_events
+            ):
+                exhausted = True
+                break
+            source = cpu_of_task[entry.job.task.name]
+            if self.background_first:
+                self._inject_background(network, rng, cpu_tiles, io_tile, entry.start, background_per_job)
+            request = Packet(
+                source=source,
+                destination=io_tile,
+                size_flits=self.request_size_flits,
+                kind="io-request",
+            )
+            delivered = network.send(request, entry.start)
+            if not self.background_first:
+                self._inject_background(network, rng, cpu_tiles, io_tile, entry.start, background_per_job, behind=True)
+            device = entry.job.device
+            start = max(delivered, device_free_at[device])
+            runtime[device].add(ScheduleEntry(job=entry.job, start=start))
+            device_free_at[device] = start + entry.job.wcet
+            executed += 1
+
+        return ExecutionOutcome(
+            runtime_schedules=runtime,
+            offline_schedules={device: schedule.copy() for device, schedule in schedules.items()},
+            executed_jobs=executed,
+            skipped_jobs=len(all_entries) - executed,
+            faults_detected=0,
+            mean_noc_latency=network.mean_latency(kind="io-request"),
+            max_noc_latency=network.max_latency(kind="io-request"),
+            events_processed=len(network.delivered),
+            exhausted=exhausted,
+            trace_counts={"packet-delivered": len(network.delivered)},
+        )
+
+    def _inject_background(
+        self,
+        network,
+        rng,
+        cpu_tiles,
+        io_tile,
+        start: int,
+        count: int,
+        *,
+        behind: bool = False,
+    ) -> None:
+        for _ in range(count):
+            bg_source = cpu_tiles[int(rng.integers(0, len(cpu_tiles)))]
+            jitter = int(rng.integers(0, self.jitter_window))
+            at = start + jitter if behind else max(0, start - jitter)
+            network.send(
+                Packet(
+                    source=bg_source,
+                    destination=io_tile,
+                    size_flits=self.background_size_flits,
+                    kind="background",
+                ),
+                at,
+            )
+
+
+@register_execution_model("cpu-instigated", aliases=("remote-cpu",))
+class CPUInstigatedModel(_RemoteCPUBase):
+    """CPU-instigated I/O over the NoC: per-hop latency + arbitration jitter"""
+
+    name = "cpu-instigated"
+    background_first = True
+
+
+@register_execution_model("cpu-instigated-prioritized")
+class CPUInstigatedPrioritizedModel(_RemoteCPUBase):
+    """CPU-instigated I/O with prioritized requests: jitter-free, latency remains"""
+
+    name = "cpu-instigated-prioritized"
+    background_first = False
+
+
+#: The built-in model names, in documentation order.
+BUILTIN_EXECUTION_MODELS: Tuple[str, ...] = (
+    "dedicated-controller",
+    "cpu-instigated",
+    "cpu-instigated-prioritized",
+)

@@ -1,0 +1,398 @@
+"""The simulation service: batch run-time execution over a reusable pool.
+
+:func:`execute_simulation` is the single, *pure* execution path: obtain the
+offline schedule (through a :class:`~repro.service.SchedulingService` when one
+is supplied — reusing its content-addressed schedule cache — or the pure
+:func:`~repro.service.service.execute_request` otherwise), build a fresh
+platform from the scenario, resolve the execution model through the registry,
+run it, and fold the outcome into a
+:class:`~repro.runtime.messages.SimulationResponse`.  Purity is load-bearing:
+the execution seed defaults to a hash of the request's content and the
+scheduling path derives its own seeds the same way, so the same request
+yields bit-identical results in-process, on any worker of the pool, and
+across runs — which is what makes the content-addressed simulation cache
+sound.
+
+:class:`SimulationService` mirrors :class:`~repro.service.SchedulingService`
+exactly: a lazily created worker pool (``n_workers=1`` runs serially
+in-process), in-batch dedup of content-identical requests, a content-addressed
+response cache (in-memory, optionally directory-backed), and hit/miss
+provenance on every response.
+
+The controller-simulation experiment, the campaign runner and the
+``python -m repro.runtime`` JSONL CLI all simulate through this facade.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.serialization import content_hash
+from repro.hardware.faults import FaultInjector
+from repro.runtime.messages import SimulationRequest, SimulationResponse
+from repro.runtime.models import ExecutionOutcome
+from repro.scenario import build_platform, materialize
+from repro.service.cache import ScheduleCache
+from repro.service.messages import CACHE_DISABLED, CACHE_HIT, CACHE_MISS, ScheduleResponse
+from repro.service.service import SchedulingService, execute_request
+
+SIM_CACHE_ENTRY_KIND = "repro/sim-cache-entry"
+SIM_CACHE_ENTRY_VERSION = 1
+
+
+class SimulationCache(ScheduleCache):
+    """Content-addressed store of simulation results.
+
+    The same machinery as the schedule cache, under its own payload kind, so
+    a simulation entry can never be misread as a schedule entry (or vice
+    versa) even when cache directories are mixed up.
+    """
+
+    def __init__(self, directory=None):
+        super().__init__(
+            directory, kind=SIM_CACHE_ENTRY_KIND, version=SIM_CACHE_ENTRY_VERSION
+        )
+
+
+def derive_execution_seed(request: SimulationRequest) -> int:
+    """Deterministic execution-RNG seed for a request that does not pin one.
+
+    Salted so the stream decorrelates from the scenario-materialisation and
+    schedule-seed streams derived from the same content hashes.
+    """
+    return int(
+        content_hash(
+            {"purpose": "runtime-execution-seed", "request": request.content_key()}
+        ),
+        16,
+    )
+
+
+def _unschedulable_response(
+    request: SimulationRequest, schedule_response: ScheduleResponse, elapsed_s: float
+) -> SimulationResponse:
+    return SimulationResponse(
+        request_id=request.request_id,
+        scenario=request.scenario.name,
+        method=schedule_response.spec,
+        execution_model=str(request.execution_model),
+        system_index=request.system_index,
+        horizon=schedule_response.horizon,
+        schedulable=False,
+        accuracy=0.0,
+        psi=0.0,
+        upsilon=0.0,
+        offline_psi=schedule_response.psi,
+        offline_upsilon=schedule_response.upsilon,
+        matches_offline=False,
+        executed_jobs=0,
+        skipped_jobs=0,
+        faults_detected=0,
+        mean_noc_latency=0.0,
+        max_noc_latency=0,
+        events_processed=0,
+        exhausted=False,
+        trace={},
+        elapsed_s=elapsed_s,
+    )
+
+
+def _trace_summary(outcome: ExecutionOutcome) -> Dict[str, object]:
+    deviations = outcome.start_time_deviations()
+    return {
+        "event_counts": dict(outcome.trace_counts),
+        "max_deviation": max(deviations) if deviations else 0,
+        "mean_deviation": (sum(deviations) / len(deviations)) if deviations else 0.0,
+    }
+
+
+def execute_simulation(
+    request: SimulationRequest,
+    *,
+    scheduling: Optional[SchedulingService] = None,
+    schedule_response: Optional[ScheduleResponse] = None,
+) -> SimulationResponse:
+    """Execute one simulation request end to end; pure in the request's content.
+
+    ``scheduling`` is an optional scheduling service to obtain the offline
+    schedule through (sharing its content-addressed schedule cache with every
+    other consumer); without one the schedule is computed directly via the
+    pure :func:`~repro.service.service.execute_request` — the *result* is
+    identical either way, only the caching differs.  ``schedule_response``
+    short-circuits scheduling entirely: it must be the (deterministic) answer
+    to ``request.schedule_request()`` — this is how the service ships
+    already-cached schedules to pool workers.
+
+    The returned response carries no cache provenance (``cache="disabled"``);
+    :class:`SimulationService` stamps hit/miss status and the content key on
+    top.
+    """
+    start = time.perf_counter()
+    if schedule_response is None:
+        schedule_request = request.schedule_request()
+        if scheduling is not None:
+            schedule_response = scheduling.submit(schedule_request)
+        else:
+            schedule_response = execute_request(schedule_request)
+
+    if not schedule_response.schedulable:
+        return _unschedulable_response(
+            request, schedule_response, time.perf_counter() - start
+        )
+
+    # A fresh platform per execution: simulation objects are stateful.  With
+    # an explicit workload only the platform and faults come from the
+    # scenario; otherwise the whole triple is materialised deterministically.
+    if request.task_set is not None:
+        task_set = request.task_set
+        platform = build_platform(
+            request.scenario.platform,
+            fault_injector=FaultInjector(list(request.scenario.faults.faults)),
+        )
+    else:
+        materialized = materialize(request.scenario, request.system_index)
+        task_set = materialized.task_set
+        platform = materialized.platform
+
+    schedules = schedule_response.device_schedules(task_set)
+    seed = request.seed if request.seed is not None else derive_execution_seed(request)
+    model = request.execution_model.resolve()
+    outcome = model.execute(
+        task_set, schedules, platform, seed=seed, max_events=request.max_events
+    )
+
+    return SimulationResponse(
+        request_id=request.request_id,
+        scenario=request.scenario.name,
+        method=schedule_response.spec,
+        execution_model=str(request.execution_model),
+        system_index=request.system_index,
+        horizon=schedule_response.horizon,
+        schedulable=True,
+        accuracy=outcome.accuracy,
+        psi=outcome.psi,
+        upsilon=outcome.upsilon,
+        offline_psi=schedule_response.psi,
+        offline_upsilon=schedule_response.upsilon,
+        matches_offline=outcome.matches_offline,
+        executed_jobs=outcome.executed_jobs,
+        skipped_jobs=outcome.skipped_jobs,
+        faults_detected=outcome.faults_detected,
+        mean_noc_latency=outcome.mean_noc_latency,
+        max_noc_latency=outcome.max_noc_latency,
+        events_processed=outcome.events_processed,
+        exhausted=outcome.exhausted,
+        trace=_trace_summary(outcome),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _execute_pooled(
+    args: Tuple[SimulationRequest, Optional[str], Optional[Dict[str, object]]],
+) -> SimulationResponse:
+    """Worker-side entry point: one request, plus how to get its schedule.
+
+    A schedule already cached in the dispatching service travels along as its
+    deterministic ``result_dict`` (no recomputation at all); otherwise each
+    call opens its own (serial) scheduling service against the shared on-disk
+    schedule cache, so pool workers reuse schedules computed by anyone — the
+    cache is written atomically, safe for concurrent writers.
+    """
+    request, schedule_cache_dir, cached_schedule = args
+    if cached_schedule is not None:
+        return execute_simulation(
+            request, schedule_response=ScheduleResponse.from_result_dict(cached_schedule)
+        )
+    if schedule_cache_dir is None:
+        return execute_simulation(request)
+    with SchedulingService(cache_dir=schedule_cache_dir) as scheduling:
+        return execute_simulation(request, scheduling=scheduling)
+
+
+_CACHE_DEFAULT = object()
+
+
+class SimulationService:
+    """Request/response facade over run-time execution, with batching and caching.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes for batch execution; ``1`` (the default) runs
+        serially in-process.  Responses are bit-identical at any worker
+        count.
+    cache_dir:
+        Directory for the persistent simulation-response cache; ``None``
+        keeps the cache in memory only.
+    cache:
+        An explicit :class:`SimulationCache` to share between services, or
+        ``None`` to disable response caching (in-batch dedup still applies).
+    scheduling:
+        An existing :class:`~repro.service.SchedulingService` to obtain
+        offline schedules through (serial path; the caller keeps ownership).
+        ``None`` creates an owned one over ``schedule_cache_dir``.
+    schedule_cache_dir:
+        Persistent schedule-cache directory for the owned scheduling service
+        *and* for pool workers (each worker opens the shared directory).
+        When ``scheduling`` is given with a directory-backed cache, that
+        directory is reused for the workers automatically.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: Union[SimulationCache, None, object] = _CACHE_DEFAULT,
+        scheduling: Optional[SchedulingService] = None,
+        schedule_cache_dir: Optional[str] = None,
+    ):
+        if not isinstance(n_workers, int) or n_workers < 1:
+            raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
+        if cache is not _CACHE_DEFAULT and cache_dir is not None:
+            raise ValueError("pass either cache_dir or an explicit cache, not both")
+        if scheduling is not None and schedule_cache_dir is not None:
+            raise ValueError(
+                "pass either an existing scheduling service or schedule_cache_dir, not both"
+            )
+        self.n_workers = n_workers
+        if cache is _CACHE_DEFAULT:
+            self.cache: Optional[SimulationCache] = SimulationCache(cache_dir)
+        else:
+            self.cache = cache  # type: ignore[assignment]
+        if scheduling is not None:
+            self.scheduling = scheduling
+            self._owns_scheduling = False
+        else:
+            self.scheduling = SchedulingService(cache_dir=schedule_cache_dir)
+            self._owns_scheduling = True
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Requests actually simulated (cache misses) over this service's lifetime.
+        self.computed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._owns_scheduling:
+            self.scheduling.close()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def _schedule_cache_dir(self) -> Optional[str]:
+        """The on-disk schedule cache pool workers should share, if any."""
+        cache = self.scheduling.cache
+        if cache is not None and cache.directory is not None:
+            return str(cache.directory)
+        return None
+
+    # -- the API -----------------------------------------------------------------
+
+    def submit(self, request: SimulationRequest) -> SimulationResponse:
+        """Execute one request (through the cache)."""
+        return self.submit_batch([request])[0]
+
+    def submit_batch(
+        self, requests: Iterable[SimulationRequest]
+    ) -> List[SimulationResponse]:
+        """Execute a batch; responses are returned in request order.
+
+        Cached and duplicate requests are not recomputed: every distinct
+        content key in the batch is simulated at most once, and each
+        response's ``cache`` field records what happened
+        (``hit``/``miss``/``disabled``).
+        """
+        requests = list(requests)
+        responses: List[Optional[SimulationResponse]] = [None] * len(requests)
+        keys = [request.content_key() for request in requests]
+
+        pending: Dict[str, List[int]] = {}
+        for position, (request, key) in enumerate(zip(requests, keys)):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                responses[position] = SimulationResponse.from_result_dict(
+                    cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
+                )
+            else:
+                pending.setdefault(key, []).append(position)
+
+        computed = self._execute_unique(
+            [(key, requests[positions[0]]) for key, positions in pending.items()]
+        )
+
+        for key, positions in pending.items():
+            base = computed[key]
+            if self.cache is not None:
+                self.cache.put(key, base.result_dict())
+            for occurrence, position in enumerate(positions):
+                if self.cache is None:
+                    status = CACHE_DISABLED
+                else:
+                    status = CACHE_MISS if occurrence == 0 else CACHE_HIT
+                responses[position] = replace(
+                    base,
+                    request_id=requests[position].request_id,
+                    cache=status,
+                    cache_key=key,
+                )
+        return [response for response in responses if response is not None]
+
+    def _execute_unique(
+        self, work: Sequence[Tuple[str, SimulationRequest]]
+    ) -> Dict[str, SimulationResponse]:
+        if not work:
+            return {}
+        requests = [request for _, request in work]
+        if self.n_workers == 1 or len(requests) == 1:
+            results = [
+                execute_simulation(request, scheduling=self.scheduling)
+                for request in requests
+            ]
+        else:
+            schedule_cache_dir = self._schedule_cache_dir()
+            schedule_cache = self.scheduling.cache
+            jobs = []
+            for request in requests:
+                # Schedules the dispatching service already holds (e.g. the
+                # ones a campaign's schedule cells just computed) ship with
+                # the job, so workers never recompute them — even when the
+                # schedule cache is memory-only.
+                cached = (
+                    schedule_cache.peek(request.schedule_request().content_key())
+                    if schedule_cache is not None
+                    else None
+                )
+                jobs.append((request, schedule_cache_dir, cached))
+            chunksize = max(1, len(requests) // (self.n_workers * 4))
+            results = list(
+                self._get_executor().map(_execute_pooled, jobs, chunksize=chunksize)
+            )
+        self.computed += len(results)
+        return {key: result for (key, _), result in zip(work, results)}
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: simulations computed plus cache hit/miss totals."""
+        stats = {"computed": self.computed}
+        if self.cache is not None:
+            stats.update(
+                cache_entries=len(self.cache),
+                cache_hits=self.cache.hits,
+                cache_misses=self.cache.misses,
+            )
+        return stats

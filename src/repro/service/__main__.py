@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered scenario presets and exit",
     )
     parser.add_argument(
+        "--list-execution-models",
+        action="store_true",
+        help="list the registered run-time execution models and exit "
+        "(simulated via `python -m repro.runtime`)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -168,11 +174,15 @@ def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.list_methods or args.list_scenarios:
+    if args.list_methods or args.list_scenarios or args.list_execution_models:
         if args.list_methods:
             print(format_scheduler_listing())
         if args.list_scenarios:
             print(format_scenario_listing())
+        if args.list_execution_models:
+            from repro.runtime import format_execution_model_listing
+
+            print(format_execution_model_listing())
         return 0
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")

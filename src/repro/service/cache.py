@@ -33,9 +33,24 @@ CACHE_ENTRY_VERSION = 1
 
 
 class ScheduleCache:
-    """In-memory (and optionally directory-backed) store of schedule results."""
+    """In-memory (and optionally directory-backed) store of schedule results.
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
+    ``kind``/``version`` name the on-disk payload envelope; the defaults are
+    the schedule-cache entry format.  Other content-addressed result stores
+    (the simulation-response cache of :mod:`repro.runtime`) reuse this class
+    with their own kind, so entries of different result types can never be
+    misread as each other even when directories are mixed up.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        kind: str = CACHE_ENTRY_KIND,
+        version: int = CACHE_ENTRY_VERSION,
+    ):
+        self.kind = kind
+        self.version = int(version)
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -93,7 +108,7 @@ class ScheduleCache:
         # writer is repaired by the next recompute instead of shadowing the
         # key forever.
         payload = versioned_payload(
-            CACHE_ENTRY_KIND, CACHE_ENTRY_VERSION, {"key": key, "result": result}
+            self.kind, self.version, {"key": key, "result": result}
         )
         atomic_write_json(self._path(key), payload)
 
@@ -105,7 +120,7 @@ class ScheduleCache:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             _, data = parse_versioned_payload(
-                payload, CACHE_ENTRY_KIND, max_version=CACHE_ENTRY_VERSION
+                payload, self.kind, max_version=self.version
             )
             return dict(data["result"])
         except PayloadVersionError:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
@@ -17,14 +17,39 @@ class Simulator:
     queue is empty or a time horizon is reached.  A shared :class:`SimClock`
     and :class:`TraceRecorder` are provided for components to read the current
     time and log observations.
+
+    ``trace_kinds`` and ``max_trace_events`` bound the default trace recorder
+    (see :class:`TraceRecorder`) so long-horizon runs don't hold every
+    observation in memory; they only apply when no explicit ``trace`` is
+    given — a caller-supplied recorder carries its own bounds.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None, trace: Optional[TraceRecorder] = None):
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        trace: Optional[TraceRecorder] = None,
+        *,
+        trace_kinds: Optional[Iterable[str]] = None,
+        max_trace_events: Optional[int] = None,
+    ):
+        if trace is not None and (trace_kinds is not None or max_trace_events is not None):
+            raise ValueError(
+                "trace_kinds/max_trace_events configure the default recorder; "
+                "an explicit trace carries its own bounds"
+            )
         self.queue = EventQueue()
         self.clock = clock if clock is not None else SimClock()
-        self.trace = trace if trace is not None else TraceRecorder()
+        self.trace = (
+            trace
+            if trace is not None
+            else TraceRecorder(kinds=trace_kinds, max_events=max_trace_events)
+        )
         self._running = False
         self._processed = 0
+        #: Whether the most recent :meth:`run` call stopped because its
+        #: ``max_events`` budget ran out while events remained within the
+        #: horizon (see :meth:`run`).
+        self.exhausted = False
 
     # -- time ---------------------------------------------------------------
 
@@ -77,7 +102,11 @@ class Simulator:
             Optional time horizon; events scheduled strictly after it are left
             unprocessed (and the clock stops at the horizon).
         max_events:
-            Optional safety bound on the number of processed events.
+            Optional safety bound on the number of processed events.  A run
+            that stops because this budget ran out — with events still pending
+            within the horizon — sets :attr:`exhausted` to ``True``, so an
+            exhausted run is distinguishable from one that genuinely drained
+            the queue (or reached ``until``).
 
         Returns
         -------
@@ -85,10 +114,15 @@ class Simulator:
             The number of events processed by this call.
         """
         processed_before = self._processed
+        self.exhausted = False
         self._running = True
         try:
             while self._running:
                 if max_events is not None and self._processed - processed_before >= max_events:
+                    next_time = self.queue.peek_time()
+                    self.exhausted = next_time is not None and (
+                        until is None or next_time <= until
+                    )
                     break
                 next_time = self.queue.peek_time()
                 if next_time is None:

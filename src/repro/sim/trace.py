@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -17,10 +17,35 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records produced during a simulation run."""
+    """Collects :class:`TraceEvent` records produced during a simulation run.
 
-    def __init__(self) -> None:
+    Long-horizon simulations can emit millions of observations; two optional
+    record-time bounds keep the recorder's memory finite without touching the
+    components that emit:
+
+    * ``kinds`` — only events whose ``kind`` is in the given set are stored;
+    * ``max_events`` — once this many events are stored, further ones are
+      discarded.
+
+    Events rejected by either bound are counted in :attr:`dropped` (so a
+    truncated trace is distinguishable from a complete one) but never stored.
+    """
+
+    def __init__(
+        self,
+        *,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and (
+            not isinstance(max_events, int) or isinstance(max_events, bool) or max_events < 0
+        ):
+            raise ValueError(f"max_events must be a non-negative integer, got {max_events!r}")
+        self.kinds: Optional[frozenset] = frozenset(kinds) if kinds is not None else None
+        self.max_events = max_events
         self._events: List[TraceEvent] = []
+        #: Events rejected by the ``kinds`` filter or the ``max_events`` bound.
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -28,7 +53,14 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
-    def record(self, time: int, source: str, kind: str, **data: Any) -> TraceEvent:
+    def record(self, time: int, source: str, kind: str, **data: Any) -> Optional[TraceEvent]:
+        """Record one observation; returns ``None`` when a bound rejects it."""
+        if self.kinds is not None and kind not in self.kinds:
+            self.dropped += 1
+            return None
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self.dropped += 1
+            return None
         event = TraceEvent(time=int(time), source=source, kind=kind, data=dict(data))
         self._events.append(event)
         return event
@@ -50,5 +82,14 @@ class TraceRecorder:
         matches = self.filter(source=source, kind=kind)
         return matches[0] if matches else None
 
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Stored events per kind (sorted by kind), for structured summaries."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     def clear(self) -> None:
+        """Drop every stored event and reset the :attr:`dropped` counter."""
         self._events.clear()
+        self.dropped = 0

@@ -191,5 +191,6 @@ class TestSharedService:
 
     def test_load_campaign_records_reads_back_the_journal(self, small_spec, tmp_path):
         result = run_campaign(small_spec, artifact_dir=tmp_path)
-        records = load_campaign_records(tmp_path, small_spec)
+        records, runtime_records = load_campaign_records(tmp_path, small_spec)
         assert records == result.records
+        assert runtime_records == {}  # no runtime section on this campaign

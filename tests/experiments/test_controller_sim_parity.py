@@ -1,0 +1,41 @@
+"""Parity tests: the rewired controller_sim reproduces the legacy numbers.
+
+The experiment was rewired from a hand-rolled simulation loop into a thin
+two-request consumer of :mod:`repro.runtime`.  These baselines were recorded
+from the pre-refactor implementation (seed 11, the historical default); every
+path through the new subsystem — workload pick, schedule via the service,
+controller execution, remote-CPU execution with its RNG stream — must land on
+exactly the same numbers.
+"""
+
+import pytest
+
+from repro.experiments import run_controller_sim
+
+
+class TestLegacyParity:
+    def test_default_scenario_reproduces_the_recorded_numbers(self):
+        result = run_controller_sim(utilisation=0.5, seed=11)
+        assert result.offline_psi == 0.696078431372549
+        assert result.controller_psi == 0.696078431372549
+        assert result.controller_upsilon == 0.8424803470540756
+        assert result.controller_matches_offline is True
+        assert result.remote_cpu_psi == 0.0
+        assert result.remote_cpu_upsilon == 0.8411415960451973
+        assert result.mean_noc_latency == 46.53921568627451
+        assert result.max_noc_latency == 77
+        assert result.faults_detected == 0
+        assert result.skipped_jobs == 0
+
+    def test_faulty_scenario_reproduces_the_recorded_fault_counters(self):
+        result = run_controller_sim(scenario="faulty-controller", seed=11)
+        assert result.controller_psi == 0.7040816326530612
+        assert result.controller_upsilon == pytest.approx(0.846020576131687)
+        assert result.faults_detected == 4
+        assert result.skipped_jobs == 4
+        assert result.mean_noc_latency == 46.53921568627451
+
+    def test_two_runs_are_bit_identical(self):
+        a = run_controller_sim(utilisation=0.5, seed=11)
+        b = run_controller_sim(utilisation=0.5, seed=11)
+        assert a == b

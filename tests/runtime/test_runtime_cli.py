@@ -1,0 +1,133 @@
+"""Tests for the ``python -m repro.runtime`` JSONL CLI."""
+
+import json
+
+import pytest
+
+from repro.runtime.__main__ import main
+from repro.runtime.messages import SimulationRequest, SimulationResponse
+
+
+def read_responses(path):
+    return [
+        SimulationResponse.from_json(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestListings:
+    def test_list_execution_models(self, capsys):
+        assert main(["--list-execution-models"]) == 0
+        out = capsys.readouterr().out
+        assert "dedicated-controller" in out
+        assert "cpu-instigated" in out
+
+    def test_list_methods_and_scenarios(self, capsys):
+        assert main(["--list-methods", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+        assert "paper-default" in out
+
+
+class TestDeclarativeMode:
+    def test_scenario_grid(self, tmp_path, capsys):
+        out_file = tmp_path / "responses.jsonl"
+        assert (
+            main(
+                [
+                    "--scenario",
+                    "short-hyperperiod",
+                    "--systems",
+                    "2",
+                    "--methods",
+                    "static",
+                    "--execution-models",
+                    "dedicated-controller",
+                    "cpu-instigated",
+                    "-o",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        responses = read_responses(out_file)
+        assert len(responses) == 4
+        assert {r.execution_model for r in responses} == {
+            "dedicated-controller",
+            "cpu-instigated",
+        }
+        assert "4 response(s): 4 simulated" in capsys.readouterr().err
+
+    def test_cache_dir_rerun_is_all_hits(self, tmp_path, capsys):
+        args = [
+            "--scenario",
+            "short-hyperperiod",
+            "--execution-models",
+            "dedicated-controller",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args + ["-o", str(tmp_path / "cold.jsonl")]) == 0
+        assert main(args + ["-o", str(tmp_path / "warm.jsonl")]) == 0
+        warm = read_responses(tmp_path / "warm.jsonl")
+        assert all(r.cache == "hit" for r in warm)
+        cold = read_responses(tmp_path / "cold.jsonl")
+        assert [r.result_dict() for r in warm] == [r.result_dict() for r in cold]
+        assert "0 simulated" in capsys.readouterr().err
+
+    def test_max_events_flag_reaches_the_responses(self, tmp_path):
+        out_file = tmp_path / "responses.jsonl"
+        assert (
+            main(
+                [
+                    "--scenario",
+                    "short-hyperperiod",
+                    "--max-events",
+                    "3",
+                    "-o",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        (response,) = read_responses(out_file)
+        assert response.exhausted
+
+
+class TestFileMode:
+    def test_request_file_round_trip(self, tmp_path):
+        requests_file = tmp_path / "requests.jsonl"
+        request = SimulationRequest(scenario="short-hyperperiod", request_id="r1")
+        requests_file.write_text(request.to_json() + "\n\n")  # blank lines skipped
+        out_file = tmp_path / "responses.jsonl"
+        assert main([str(requests_file), "-o", str(out_file)]) == 0
+        (response,) = read_responses(out_file)
+        assert response.request_id == "r1"
+        assert response.schedulable
+
+    def test_invalid_request_line_names_the_location(self, tmp_path):
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(json.dumps({"kind": "wrong"}) + "\n")
+        with pytest.raises(SystemExit, match="requests.jsonl:1"):
+            main([str(requests_file)])
+
+
+class TestArgumentValidation:
+    def test_input_and_scenario_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["requests.jsonl", "--scenario", "paper-default"])
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_input_nor_scenario_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_worker_count(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "paper-default", "--workers", "0"])
+
+    def test_unknown_scenario_is_reported(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "nope"])
+        assert "nope" in capsys.readouterr().err

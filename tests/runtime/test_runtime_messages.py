@@ -1,0 +1,215 @@
+"""Round-trip, content-key and versioning tests for the v1 sim envelopes."""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.serialization import PayloadVersionError
+from repro.runtime import (
+    SIM_REQUEST_KIND,
+    SIM_RESPONSE_KIND,
+    SimulationRequest,
+    SimulationResponse,
+    execute_simulation,
+)
+from repro.scenario import Scenario, WorkloadSpec, create_scenario
+from repro.service import SchedulerSpec
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+# -- hypothesis strategies over the request's content axes ----------------------
+
+scenario_names = st.sampled_from(
+    ["paper-default", "short-hyperperiod", "bursty-periods", "faulty-controller"]
+)
+methods = st.sampled_from(["static", "gpiocp", "fps-offline", "ga:generations=5,seed=3"])
+models = st.sampled_from(
+    [
+        "dedicated-controller",
+        "cpu-instigated",
+        "cpu-instigated-prioritized",
+        "cpu-instigated:jitter_window=2",
+    ]
+)
+
+
+@st.composite
+def simulation_requests(draw):
+    return SimulationRequest(
+        scenario=create_scenario(draw(scenario_names)),
+        method=draw(methods),
+        execution_model=draw(models),
+        system_index=draw(st.integers(min_value=0, max_value=3)),
+        horizon=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10**7))),
+        max_events=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10**6))),
+        seed=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**32))),
+        request_id=draw(st.one_of(st.none(), st.text(max_size=12))),
+    )
+
+
+class TestSimulationRequestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(request=simulation_requests())
+    def test_json_round_trip_is_lossless(self, request):
+        recovered = SimulationRequest.from_json(request.to_json())
+        assert recovered == request
+        assert recovered.content_key() == request.content_key()
+
+    @settings(max_examples=40, deadline=None)
+    @given(request=simulation_requests())
+    def test_payload_is_versioned_and_json_stable(self, request):
+        payload = request.to_dict()
+        assert payload["kind"] == SIM_REQUEST_KIND
+        assert payload["version"] == 1
+        assert json.loads(json.dumps(payload)) == payload
+
+    @settings(max_examples=20, deadline=None)
+    @given(request=simulation_requests())
+    def test_request_is_picklable(self, request):
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone == request
+        assert clone.content_key() == request.content_key()
+
+
+class TestSimulationRequestValidation:
+    def test_scenario_is_required(self):
+        with pytest.raises(ValueError, match="scenario"):
+            SimulationRequest(scenario=None)
+
+    def test_strings_are_coerced(self):
+        request = SimulationRequest(
+            scenario="paper-default",
+            method="gpiocp",
+            execution_model="cpu-instigated:jitter_window=2",
+        )
+        assert request.method == SchedulerSpec.parse("gpiocp")
+        assert str(request.execution_model) == "cpu-instigated:jitter_window=2"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"system_index": -1},
+            {"horizon": 0},
+            {"max_events": 0},
+            {"seed": -2},
+        ],
+    )
+    def test_invalid_values_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationRequest(scenario="paper-default", **kwargs)
+
+    def test_explicit_task_set_pins_system_index(self):
+        task_set = SystemGenerator(GeneratorConfig(), rng=1).generate(0.4)
+        with pytest.raises(ValueError, match="system_index"):
+            SimulationRequest(
+                scenario="paper-default", task_set=task_set, system_index=1
+            )
+
+    def test_newer_version_is_refused(self):
+        payload = SimulationRequest(scenario="paper-default").to_dict()
+        payload["version"] = 99
+        with pytest.raises(PayloadVersionError):
+            SimulationRequest.from_dict(payload)
+
+
+class TestContentKey:
+    def test_ignores_request_id(self):
+        a = SimulationRequest(scenario="paper-default", request_id="a")
+        b = SimulationRequest(scenario="paper-default", request_id="b")
+        assert a.content_key() == b.content_key()
+
+    def test_every_axis_changes_the_key(self):
+        base = SimulationRequest(scenario="paper-default")
+        variants = [
+            SimulationRequest(scenario="short-hyperperiod"),
+            SimulationRequest(scenario="paper-default", method="gpiocp"),
+            SimulationRequest(scenario="paper-default", execution_model="cpu-instigated"),
+            SimulationRequest(scenario="paper-default", system_index=1),
+            SimulationRequest(scenario="paper-default", horizon=10_000),
+            SimulationRequest(scenario="paper-default", max_events=100),
+            SimulationRequest(scenario="paper-default", seed=5),
+        ]
+        keys = {base.content_key()} | {v.content_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_fault_plan_changes_the_key_via_the_scenario(self):
+        # The fault plan is part of the scenario's content key, so a request
+        # over the faulty variant can never hit the fault-free cache entry.
+        plain = SimulationRequest(scenario="paper-default")
+        faulty = SimulationRequest(
+            scenario=create_scenario("paper-default").with_faults(
+                create_scenario("faulty-controller").faults.faults
+            )
+        )
+        assert plain.content_key() != faulty.content_key()
+
+    def test_explicit_workload_changes_the_key(self):
+        task_set = SystemGenerator(GeneratorConfig(), rng=1).generate(0.4)
+        implicit = SimulationRequest(scenario="paper-default")
+        explicit = SimulationRequest(scenario="paper-default", task_set=task_set)
+        assert implicit.content_key() != explicit.content_key()
+
+
+class TestScheduleRequestBridge:
+    def test_scenario_request_is_content_identical_to_a_service_request(self):
+        from repro.service import ScheduleRequest
+
+        sim = SimulationRequest(scenario="paper-default", method="gpiocp", system_index=2)
+        direct = ScheduleRequest(
+            scenario=create_scenario("paper-default"),
+            system_index=2,
+            spec=SchedulerSpec.parse("gpiocp"),
+        )
+        assert sim.schedule_request().content_key() == direct.content_key()
+
+    def test_explicit_workload_request_matches_a_task_set_request(self):
+        from repro.service import ScheduleRequest
+
+        task_set = SystemGenerator(GeneratorConfig(), rng=1).generate(0.4)
+        sim = SimulationRequest(scenario="paper-default", task_set=task_set)
+        direct = ScheduleRequest(task_set=task_set, spec=SchedulerSpec.parse("static"))
+        assert sim.schedule_request().content_key() == direct.content_key()
+
+
+@pytest.fixture(scope="module")
+def small_response():
+    scenario = Scenario(
+        name="tiny",
+        workload=WorkloadSpec(
+            utilisation=0.4,
+            generator=GeneratorConfig(hyperperiod_ms=360, min_period_ms=60, max_period_ms=120),
+        ),
+    )
+    return execute_simulation(SimulationRequest(scenario=scenario, request_id="resp-1"))
+
+
+class TestSimulationResponse:
+    def test_json_round_trip_preserves_everything(self, small_response):
+        recovered = SimulationResponse.from_json(small_response.to_json())
+        assert recovered == small_response
+
+    def test_payload_is_versioned(self, small_response):
+        payload = small_response.to_dict()
+        assert payload["kind"] == SIM_RESPONSE_KIND
+        assert payload["version"] == 1
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_newer_version_is_refused(self, small_response):
+        payload = small_response.to_dict()
+        payload["version"] = 99
+        with pytest.raises(PayloadVersionError):
+            SimulationResponse.from_dict(payload)
+
+    def test_result_dict_excludes_provenance(self, small_response):
+        result = small_response.result_dict()
+        assert "cache" not in result
+        assert "elapsed_s" not in result
+        rebuilt = SimulationResponse.from_result_dict(
+            result, request_id="other", cache="hit", cache_key="k"
+        )
+        assert rebuilt.result_dict() == result
+        assert rebuilt.cache == "hit"
+
+    def test_response_is_picklable(self, small_response):
+        assert pickle.loads(pickle.dumps(small_response)) == small_response

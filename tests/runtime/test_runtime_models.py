@@ -1,0 +1,193 @@
+"""Unit tests for the execution-model registry and the built-in models."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.runtime import (
+    BUILTIN_EXECUTION_MODELS,
+    ExecutionModelSpec,
+    available_execution_models,
+    create_execution_model,
+    execution_model_registered,
+    format_execution_model_listing,
+    list_execution_models,
+    register_execution_model,
+    unregister_execution_model,
+)
+from repro.scenario import create_scenario, materialize
+from repro.service import ScheduleRequest, SchedulerSpec
+from repro.service.service import execute_request
+
+
+@pytest.fixture(scope="module")
+def materialized():
+    return materialize(create_scenario("short-hyperperiod"), 0)
+
+
+@pytest.fixture(scope="module")
+def schedules(materialized):
+    response = execute_request(
+        ScheduleRequest(
+            scenario=materialized.scenario,
+            system_index=0,
+            spec=SchedulerSpec.parse("static"),
+        )
+    )
+    assert response.schedulable
+    return response.device_schedules(materialized.task_set)
+
+
+def fresh_platform():
+    return materialize(create_scenario("short-hyperperiod"), 0).platform
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        for name in BUILTIN_EXECUTION_MODELS:
+            assert execution_model_registered(name)
+        assert set(BUILTIN_EXECUTION_MODELS) <= set(available_execution_models())
+
+    def test_aliases_resolve_to_the_same_factory(self):
+        assert type(create_execution_model("controller")) is type(
+            create_execution_model("dedicated-controller")
+        )
+        assert type(create_execution_model("remote-cpu")) is type(
+            create_execution_model("cpu-instigated")
+        )
+
+    def test_unknown_model_names_the_registered_set(self):
+        with pytest.raises(KeyError, match="dedicated-controller"):
+            create_execution_model("quantum-io")
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_execution_model("cpu-instigated", lambda: None)
+
+    def test_register_and_unregister(self):
+        sentinel = object()
+        register_execution_model("test-model", lambda: sentinel)
+        try:
+            assert create_execution_model("test-model") is sentinel
+            assert "test-model" in list_execution_models()
+        finally:
+            unregister_execution_model("test-model")
+        assert not execution_model_registered("test-model")
+        with pytest.raises(KeyError):
+            unregister_execution_model("test-model")
+
+    def test_rejected_override_names_the_factory(self):
+        with pytest.raises(TypeError, match="cpu-instigated"):
+            create_execution_model("cpu-instigated", not_an_option=3)
+
+    def test_listing_mentions_every_name(self):
+        text = format_execution_model_listing()
+        for name in BUILTIN_EXECUTION_MODELS:
+            assert name in text
+
+
+class TestExecutionModelSpec:
+    def test_parse_format_round_trip(self):
+        spec = ExecutionModelSpec.parse("cpu-instigated:jitter_window=3")
+        assert str(spec) == "cpu-instigated:jitter_window=3"
+        assert spec.options_dict() == {"jitter_window": 3}
+
+    def test_resolve_forwards_options(self):
+        model = ExecutionModelSpec.parse("cpu-instigated:jitter_window=9").resolve()
+        assert model.jitter_window == 9
+
+    def test_coerce_accepts_scheduler_spec_shape(self):
+        base = SchedulerSpec.parse("cpu-instigated:jitter_window=3")
+        spec = ExecutionModelSpec.coerce(base)
+        assert isinstance(spec, ExecutionModelSpec)
+        assert str(spec) == str(base)
+
+    def test_dict_round_trip(self):
+        spec = ExecutionModelSpec.parse("dedicated-controller")
+        assert ExecutionModelSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestDedicatedController:
+    def test_reproduces_offline_exactly(self, materialized, schedules):
+        model = create_execution_model("dedicated-controller")
+        outcome = model.execute(materialized.task_set, schedules, fresh_platform(), seed=0)
+        assert outcome.matches_offline
+        assert outcome.accuracy == 1.0
+        assert outcome.skipped_jobs == 0
+        assert outcome.mean_noc_latency == 0.0
+        assert outcome.start_time_deviations() == [0] * outcome.executed_jobs
+
+    def test_max_events_exhaustion_is_reported(self, materialized, schedules):
+        model = create_execution_model("dedicated-controller")
+        outcome = model.execute(
+            materialized.task_set, schedules, fresh_platform(), seed=0, max_events=3
+        )
+        assert outcome.exhausted
+        assert outcome.events_processed == 3
+
+
+class TestCPUInstigated:
+    def test_loses_exactness_to_noc_latency(self, materialized, schedules):
+        model = create_execution_model("cpu-instigated")
+        outcome = model.execute(materialized.task_set, schedules, fresh_platform(), seed=7)
+        assert not outcome.matches_offline
+        assert outcome.accuracy < 1.0
+        assert outcome.mean_noc_latency > 0
+        assert outcome.executed_jobs == outcome.offline_jobs
+        # Every job still executes — late, not dropped.
+        assert outcome.skipped_jobs == 0
+
+    def test_same_seed_is_deterministic(self, materialized, schedules):
+        model = create_execution_model("cpu-instigated")
+        a = model.execute(materialized.task_set, schedules, fresh_platform(), seed=7)
+        b = model.execute(materialized.task_set, schedules, fresh_platform(), seed=7)
+        assert a.start_time_deviations() == b.start_time_deviations()
+        assert a.mean_noc_latency == b.mean_noc_latency
+
+    def test_prioritized_requests_cut_latency(self, materialized, schedules):
+        plain = create_execution_model("cpu-instigated").execute(
+            materialized.task_set, schedules, fresh_platform(), seed=7
+        )
+        prioritized = create_execution_model("cpu-instigated-prioritized").execute(
+            materialized.task_set, schedules, fresh_platform(), seed=7
+        )
+        # Requests that win arbitration still pay the per-hop path latency,
+        # but never queue behind their own background burst.
+        assert prioritized.mean_noc_latency < plain.mean_noc_latency
+        assert prioritized.mean_noc_latency > 0
+
+    def test_invalid_options_are_rejected(self):
+        with pytest.raises(ValueError):
+            create_execution_model("cpu-instigated", jitter_window=0)
+        with pytest.raises(ValueError):
+            create_execution_model("cpu-instigated", request_size_flits=0)
+
+    def test_max_events_bounds_the_noc_work(self, materialized, schedules):
+        model = create_execution_model("cpu-instigated")
+        total_jobs = sum(len(s.entries) for s in schedules.values())
+        events_per_job = 1 + materialized.platform.spec.background_packets_per_job
+        budget = events_per_job * 2  # enough for exactly two jobs
+        outcome = model.execute(
+            materialized.task_set, schedules, fresh_platform(), seed=7, max_events=budget
+        )
+        assert outcome.exhausted
+        assert outcome.executed_jobs == 2
+        assert outcome.skipped_jobs == total_jobs - 2
+        assert outcome.events_processed <= budget
+        assert outcome.accuracy < 1.0  # cut-off jobs count against accuracy
+
+
+class TestOutcomeMetrics:
+    def test_accuracy_counts_skipped_jobs_against_the_model(self, materialized, schedules):
+        model = create_execution_model("dedicated-controller")
+        outcome = model.execute(materialized.task_set, schedules, fresh_platform(), seed=0)
+        # Forge a skip: drop one runtime entry and count it as skipped.
+        device = next(iter(outcome.runtime_schedules))
+        entries = outcome.runtime_schedules[device].sorted_entries()
+        trimmed = Schedule(device=device)
+        for entry in entries[1:]:
+            trimmed.add(entry)
+        outcome.runtime_schedules[device] = trimmed
+        outcome.skipped_jobs += 1
+        outcome.executed_jobs -= 1
+        assert outcome.accuracy < 1.0
+        assert outcome.matches_offline  # the remaining jobs are still exact

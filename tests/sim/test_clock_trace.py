@@ -55,3 +55,40 @@ class TestTraceRecorder:
         trace.record(1, source="a", kind="x")
         trace.clear()
         assert len(trace) == 0
+
+    def test_kinds_filter_drops_other_kinds_at_record_time(self):
+        trace = TraceRecorder(kinds=("start",))
+        kept = trace.record(1, source="a", kind="start")
+        rejected = trace.record(2, source="a", kind="finish")
+        assert kept is not None
+        assert rejected is None
+        assert len(trace) == 1
+        assert trace.dropped == 1
+
+    def test_max_events_bounds_memory(self):
+        trace = TraceRecorder(max_events=2)
+        for t in range(5):
+            trace.record(t, source="a", kind="tick")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+        assert [event.time for event in trace] == [0, 1]
+
+    def test_clear_resets_the_bound_and_dropped_counter(self):
+        trace = TraceRecorder(max_events=1)
+        trace.record(1, source="a", kind="x")
+        trace.record(2, source="a", kind="x")
+        assert trace.dropped == 1
+        trace.clear()
+        assert trace.dropped == 0
+        assert trace.record(3, source="a", kind="x") is not None
+
+    def test_counts_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(1, source="a", kind="b-kind")
+        trace.record(2, source="a", kind="a-kind")
+        trace.record(3, source="a", kind="b-kind")
+        assert trace.counts_by_kind() == {"a-kind": 1, "b-kind": 2}
+
+    def test_invalid_max_events_is_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=-1)

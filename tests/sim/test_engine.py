@@ -59,6 +59,88 @@ class TestSimulator:
             sim.at(t, lambda: None)
         assert sim.run(max_events=4) == 4
 
+    def test_max_events_exhaustion_is_distinguishable(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.at(t, lambda: None)
+        sim.run(max_events=4)
+        assert sim.exhausted  # budget ran out with events still pending
+        sim.run()
+        assert not sim.exhausted  # the queue genuinely drained
+
+    def test_exact_budget_finish_is_not_exhausted(self):
+        sim = Simulator()
+        for t in range(4):
+            sim.at(t, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert not sim.exhausted
+
+    def test_budget_stop_past_horizon_is_not_exhausted(self):
+        sim = Simulator()
+        sim.at(1, lambda: None)
+        sim.at(50, lambda: None)
+        sim.run(until=10, max_events=1)
+        # The only remaining event lies beyond the horizon: the run finished
+        # its window, it did not starve.
+        assert not sim.exhausted
+
+    def test_run_until_exact_event_timestamp_processes_the_event(self):
+        sim = Simulator()
+        seen = []
+        sim.at(20, lambda: seen.append(sim.now))
+        sim.at(21, lambda: seen.append(sim.now))
+        sim.run(until=20)
+        assert seen == [20]  # until= is inclusive of the horizon itself
+        assert sim.now == 20
+
+    def test_same_time_events_tie_break_deterministically(self):
+        # Priority first, then insertion order — regardless of the order the
+        # (priority, insertion) pairs were pushed in.
+        sim = Simulator()
+        seen = []
+        sim.at(5, lambda: seen.append("late-priority"), priority=1)
+        sim.at(5, lambda: seen.append("first-inserted"))
+        sim.at(5, lambda: seen.append("second-inserted"))
+        sim.at(5, lambda: seen.append("negative-priority"), priority=-1)
+        sim.run()
+        assert seen == [
+            "negative-priority",
+            "first-inserted",
+            "second-inserted",
+            "late-priority",
+        ]
+
+    def test_scheduling_in_the_past_from_inside_a_callback(self):
+        sim = Simulator()
+        errors = []
+
+        def tries_to_rewind():
+            try:
+                sim.at(3, lambda: None)
+            except ValueError as error:
+                errors.append(str(error))
+
+        sim.at(10, tries_to_rewind)
+        sim.run()
+        assert len(errors) == 1
+        assert "now=10" in errors[0]
+
+    def test_trace_bounds_are_forwarded_to_the_default_recorder(self):
+        sim = Simulator(trace_kinds=("tick",), max_trace_events=2)
+        for t in range(4):
+            sim.at(t, lambda: sim.trace.record(sim.now, source="s", kind="tick"))
+            sim.at(t, lambda: sim.trace.record(sim.now, source="s", kind="noise"))
+        sim.run()
+        assert len(sim.trace) == 2
+        assert all(event.kind == "tick" for event in sim.trace)
+        assert sim.trace.dropped == 6
+
+    def test_explicit_trace_refuses_bound_kwargs(self):
+        from repro.sim import TraceRecorder
+
+        with pytest.raises(ValueError):
+            Simulator(trace=TraceRecorder(), max_trace_events=5)
+
     def test_cancel_scheduled_event(self):
         sim = Simulator()
         seen = []
