@@ -14,9 +14,18 @@ machine-readable ``BENCH_results.json`` — a flat ``{benchmark name: median
 seconds}`` mapping — so the performance trajectory can be tracked across
 commits without parsing pytest's console tables.  Set ``REPRO_BENCH_RESULTS``
 to override the output path (relative to the pytest rootdir).
+
+Setting ``REPRO_BENCH_BASELINE`` additionally compares the session's medians
+against a committed baseline file (e.g. the repo's ``BENCH_results.json``):
+any benchmark slower than baseline by more than ``REPRO_BENCH_TOLERANCE``
+(default 20%) fails the session — or only warns when
+``REPRO_BENCH_BASELINE_MODE=warn`` (the CI-friendly setting: machine noise
+should not break unrelated PRs).
 """
 
+import json
 import os
+import warnings
 
 import pytest
 
@@ -25,6 +34,9 @@ from repro.experiments import ExperimentConfig
 
 #: Default output file of the machine-readable benchmark summary.
 BENCH_RESULTS_FILENAME = "BENCH_results.json"
+
+#: Default allowed slowdown versus the baseline medians (0.20 == +20%).
+DEFAULT_BASELINE_TOLERANCE = 0.20
 
 
 @pytest.fixture(scope="session")
@@ -57,8 +69,63 @@ def _benchmark_medians(session) -> dict:
     return medians
 
 
+def _baseline_regressions(medians: dict, baseline: dict, tolerance: float) -> list:
+    """Benchmarks slower than baseline by more than ``tolerance`` (fractional)."""
+    regressions = []
+    for name, median in medians.items():
+        reference = baseline.get(name)
+        if not isinstance(reference, (int, float)) or reference <= 0:
+            continue
+        if median > reference * (1.0 + tolerance):
+            regressions.append(
+                f"{name}: {median:.4f}s vs baseline {reference:.4f}s "
+                f"(+{(median / reference - 1.0) * 100.0:.0f}%, "
+                f"tolerance +{tolerance * 100.0:.0f}%)"
+            )
+    return regressions
+
+
+def _load_baseline(session) -> dict:
+    """Baseline medians named by ``REPRO_BENCH_BASELINE``, or ``{}`` when unset.
+
+    Loaded *before* the session's own results are written, so pointing the
+    baseline at the results file compares against the previous run, not
+    against itself.
+    """
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline_path:
+        return {}
+    resolved = os.path.join(str(session.config.rootpath), baseline_path)
+    with open(resolved, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_baseline(session, medians: dict, baseline: dict) -> None:
+    """Optional ``REPRO_BENCH_BASELINE`` regression gate over the medians."""
+    if not baseline or not medians:
+        return
+    tolerance = float(
+        os.environ.get("REPRO_BENCH_TOLERANCE", str(DEFAULT_BASELINE_TOLERANCE))
+    )
+    regressions = _baseline_regressions(medians, baseline, tolerance)
+    if not regressions:
+        return
+    message = "benchmark regression vs {}: {}".format(
+        os.environ.get("REPRO_BENCH_BASELINE"), "; ".join(regressions)
+    )
+    if os.environ.get("REPRO_BENCH_BASELINE_MODE", "fail").lower() == "warn":
+        warnings.warn(message, stacklevel=1)
+        return
+    # pytest.exit inside sessionfinish is the supported way to force the exit
+    # code from a finish hook (wrap_session adopts the returncode).
+    pytest.exit(message, returncode=int(pytest.ExitCode.TESTS_FAILED))
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit ``BENCH_results.json`` when at least one benchmark produced stats."""
+    # The baseline load/gate sits outside the try: a configured-but-broken
+    # baseline (missing file, bad JSON) should be loud, not silently skipped.
+    baseline = _load_baseline(session)
     try:  # never fail the run over reporting
         medians = _benchmark_medians(session)
         if not medians:
@@ -68,3 +135,4 @@ def pytest_sessionfinish(session, exitstatus):
         atomic_write_json(path, medians)
     except Exception:
         return
+    _check_baseline(session, medians, baseline)

@@ -1,0 +1,50 @@
+"""Opt-in ``cProfile`` wrapper shared by the CLI entry points.
+
+Both ``python -m repro.experiments`` and ``python -m repro.service`` accept a
+``--profile [FILE]`` flag; when given, the run executes under ``cProfile``,
+the raw stats are dumped to ``FILE`` (loadable with ``pstats`` or snakeviz)
+and a top-N cumulative summary goes to stderr — so performance work starts
+from data, not guesses.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+#: Default dump path of ``--profile`` when no file name is given.
+DEFAULT_PROFILE_PATH = "repro-profile.pstats"
+
+
+@contextmanager
+def maybe_profile(
+    output: Optional[str], *, top: int = 20, stream: Optional[IO[str]] = None
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the with-block when ``output`` names a dump file; no-op otherwise.
+
+    On exit the profiler state is written to ``output`` as a ``.pstats`` dump
+    and the ``top`` functions by cumulative time are printed to ``stream``
+    (default stderr).  The summary is emitted even if the block raises, so an
+    interrupted sweep still yields usable data.
+    """
+    if output is None:
+        yield None
+        return
+    stream = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(output)
+        print(
+            f"profile written to {output}; top {top} functions by cumulative time:",
+            file=stream,
+        )
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative")
+        stats.print_stats(top)

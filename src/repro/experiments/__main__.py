@@ -17,6 +17,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.profiling import DEFAULT_PROFILE_PATH, maybe_profile
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.fig6_psi import run_fig6
@@ -97,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON) instead of a figure, honouring --workers and --artifact-dir, "
         "and print its Markdown report; see `python -m repro.campaign` for "
         "the full campaign CLI (resume, report formats)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=DEFAULT_PROFILE_PATH,
+        default=None,
+        metavar="PSTATS",
+        help="run under cProfile: dump raw stats to PSTATS (default: "
+        f"{DEFAULT_PROFILE_PATH}) and print the top-20 cumulative summary "
+        "to stderr",
     )
     parser.add_argument(
         "--list-methods",
@@ -193,7 +204,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(
                 "--no-ga does not apply to --campaign; drop GA methods from the spec"
             )
-        return run_campaign_cli(parser, args)
+        with maybe_profile(args.profile):
+            return run_campaign_cli(parser, args)
     if args.figure is None:
         parser.error("a figure is required (or use --list-methods/--list-scenarios)")
     try:
@@ -206,6 +218,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     wants = (args.figure,) if args.figure != "all" else ("fig5", "fig6", "fig7", "table1")
 
+    with maybe_profile(args.profile):
+        return _run_figures(args, config, methods, wants)
+
+
+def _run_figures(args, config, methods, wants) -> int:
     if "table1" in wants:
         if methods is not None:
             print(

@@ -86,31 +86,41 @@ def decompose_graphs(graphs: DependencyGraphs) -> Tuple[List[IOJob], List[IOJob]
     removed first; ties are broken towards the lowest priority (the paper notes
     a lower-priority job has a wider release window, hence more free slots for
     re-allocation), then towards the later ideal start for determinism.
-    """
-    working: nx.Graph = graphs.graph.copy()
-    sacrificed: List[IOJob] = []
 
-    while True:
-        edges_remaining = working.number_of_edges()
-        if edges_remaining == 0:
-            break
+    The selection loop runs on a plain adjacency dict rather than a mutable
+    networkx copy — the victim choice is identical (the final ``key``
+    tie-break makes it unique regardless of iteration order) and the
+    per-round cost drops to dict/set operations.
+    """
+    adjacency: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {
+        key: set(graphs.graph[key]) for key in graphs.graph.nodes
+    }
+    job_of: Dict[Tuple[str, int], IOJob] = {
+        key: graphs.graph.nodes[key]["job"] for key in graphs.graph.nodes
+    }
+    sacrificed: List[IOJob] = []
+    edges_remaining = sum(len(neighbours) for neighbours in adjacency.values()) // 2
+
+    while edges_remaining:
         # Pick the node with the highest degree; tie-break by lowest priority,
         # then latest ideal start, then job key (full determinism).
-        candidates = [key for key in working.nodes if working.degree(key) > 0]
         victim_key = max(
-            candidates,
+            (key for key, neighbours in adjacency.items() if neighbours),
             key=lambda key: (
-                working.degree(key),
-                -working.nodes[key]["job"].priority,
-                working.nodes[key]["job"].ideal_start,
+                len(adjacency[key]),
+                -job_of[key].priority,
+                job_of[key].ideal_start,
                 key,
             ),
         )
-        sacrificed.append(working.nodes[victim_key]["job"])
-        working.remove_node(victim_key)
+        neighbours = adjacency.pop(victim_key)
+        for other in neighbours:
+            adjacency[other].discard(victim_key)
+        edges_remaining -= len(neighbours)
+        sacrificed.append(job_of[victim_key])
 
     kept = sorted(
-        (working.nodes[key]["job"] for key in working.nodes),
+        (job_of[key] for key in adjacency),
         key=lambda j: (j.ideal_start, j.key),
     )
     sacrificed.sort(key=lambda j: (-j.priority, j.ideal_start, j.key))

@@ -20,7 +20,7 @@ from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
 from repro.scheduling.ga.encoding import GAProblem
 from repro.scheduling.ga.nsga2 import NSGA2, ParetoArchive
-from repro.scheduling.ga.reconfiguration import evaluate as evaluate_genes
+from repro.scheduling.ga.reconfiguration import evaluate_batch as evaluate_genes_batch
 from repro.scheduling.heuristic import HeuristicScheduler
 from repro.scheduling.registry import register_scheduler
 
@@ -95,13 +95,20 @@ class GAScheduler(Scheduler):
         rng = np.random.default_rng(self.config.seed)
         seeds = self._build_seeds(problem, horizon)
 
-        def evaluate(genes: np.ndarray):
-            psi_value, upsilon_value, schedule = evaluate_genes(problem.jobs, genes)
-            return (psi_value, upsilon_value), schedule
+        # The batch evaluator scores a whole (pop, n_genes) matrix per call.
+        # Archive payloads are the repaired start-time rows — Schedule objects
+        # are only materialised for the handful of entries reported below.
+        def evaluate_batch(genes_matrix: np.ndarray):
+            objectives, starts, feasible = evaluate_genes_batch(problem, genes_matrix)
+            payloads = [
+                starts[row] if feasible[row] else None
+                for row in range(genes_matrix.shape[0])
+            ]
+            return objectives, payloads
 
         search = NSGA2(
             problem,
-            evaluate,
+            evaluate_batch=evaluate_batch,
             population_size=self.config.population_size,
             generations=self.config.generations,
             crossover_probability=self.config.crossover_probability,
@@ -129,15 +136,34 @@ class GAScheduler(Scheduler):
         info["best_psi_upsilon"] = best_psi.objectives[1]
         info["best_upsilon"] = best_upsilon.objectives[1]
         info["best_upsilon_psi"] = best_upsilon.objectives[0]
-        info["best_psi_schedule"] = best_psi.payload
-        info["best_upsilon_schedule"] = best_upsilon.payload
+        info["best_psi_schedule"] = self._schedule_from_starts(problem, best_psi.payload)
+        info["best_upsilon_schedule"] = self._schedule_from_starts(
+            problem, best_upsilon.payload
+        )
 
         # The preferred single schedule balances both objectives: the archive
         # entry with the largest objective sum (a simple knee-point proxy).
         preferred = max(archive.entries, key=lambda entry: sum(entry.objectives))
-        return ScheduleResult.from_schedule(preferred.payload, jobs, **info)
+        return ScheduleResult.from_schedule(
+            self._schedule_from_starts(problem, preferred.payload), jobs, **info
+        )
 
     # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _schedule_from_starts(problem: GAProblem, starts: np.ndarray) -> Schedule:
+        """Materialise a Schedule from a repaired start-time row.
+
+        Entries are inserted in execution order (repaired starts never
+        overlap, so ascending start *is* the execution order) — the same
+        insertion order the scalar repair produced, keeping the metrics'
+        float accumulation identical.
+        """
+        order = np.argsort(np.asarray(starts), kind="stable")
+        schedule = Schedule()
+        for index in order:
+            schedule.set_start(problem.jobs[int(index)], int(starts[int(index)]))
+        return schedule
 
     def _build_seeds(self, problem: GAProblem, horizon: int) -> List[np.ndarray]:
         seeds: List[np.ndarray] = [problem.ideal_genes()]

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.task import IOJob
 from repro.scheduling.slots import FreeSlot, free_slots, slots_within_window, total_capacity
@@ -68,9 +70,20 @@ class LCCDAllocator:
         report = AllocationReport()
         # Highest priority first (the paper's "largest P_i first").
         pending = sorted(sacrificed, key=lambda j: (-j.priority, j.ideal_start, j.key))
+        # Per-job window arrays: the direct-fit contention check compares every
+        # candidate slot against every still-pending job in one broadcast.
+        releases = np.array([j.release for j in pending], dtype=np.int64)
+        deadlines = np.array([j.deadline for j in pending], dtype=np.int64)
+        wcets = np.array([j.wcet for j in pending], dtype=np.int64)
         for index, job in enumerate(pending):
-            remaining = pending[index + 1:]
-            if self._allocate_direct(schedule, job, remaining, horizon):
+            if self._allocate_direct(
+                schedule,
+                job,
+                releases[index + 1:],
+                deadlines[index + 1:],
+                wcets[index + 1:],
+                horizon,
+            ):
                 report.allocated_direct += 1
                 continue
             if self._allocate_by_shifting(schedule, job, horizon):
@@ -86,25 +99,45 @@ class LCCDAllocator:
         self,
         schedule: Schedule,
         job: IOJob,
-        remaining: Sequence[IOJob],
+        remaining_releases: np.ndarray,
+        remaining_deadlines: np.ndarray,
+        remaining_wcets: np.ndarray,
         horizon: int,
     ) -> bool:
-        slots = free_slots(schedule, horizon)
-        fitting = [slot for slot in slots if slot.can_fit(job)]
-        if not fitting:
+        intervals = schedule.idle_intervals(horizon)
+        if not intervals:
             return False
+        starts = np.fromiter((lo for lo, _ in intervals), dtype=np.int64, count=len(intervals))
+        ends = np.fromiter((hi for _, hi in intervals), dtype=np.int64, count=len(intervals))
+        usable_lo = np.maximum(starts, job.release)
+        usable_hi = np.minimum(ends, job.deadline)
+        fits = (usable_hi > usable_lo) & (usable_hi - usable_lo >= job.wcet)
+        if not fits.any():
+            return False
+        fit_starts = starts[fits]
+        fit_ends = ends[fits]
+        # Least contention first: how many still-pending jobs could also use
+        # each candidate slot (one broadcast instead of a slot x job loop).
+        if remaining_releases.size:
+            lo = np.maximum(fit_starts[:, None], remaining_releases[None, :])
+            hi = np.minimum(fit_ends[:, None], remaining_deadlines[None, :])
+            contention = ((hi > lo) & (hi - lo >= remaining_wcets)).sum(axis=1)
+        else:
+            contention = np.zeros(fit_starts.size, dtype=np.int64)
+        capacities = fit_ends - fit_starts
         chosen = min(
-            fitting,
-            key=lambda slot: (self._contention(slot, remaining), slot.capacity, slot.start),
+            range(fit_starts.size),
+            key=lambda i: (contention[i], capacities[i], fit_starts[i]),
         )
-        start = chosen.fit_start(job, prefer_ideal=self.prefer_ideal_placement)
-        assert start is not None  # guaranteed by can_fit
+        slot = FreeSlot(int(fit_starts[chosen]), int(fit_ends[chosen]))
+        start = slot.fit_start(job, prefer_ideal=self.prefer_ideal_placement)
+        assert start is not None  # guaranteed by the fit mask
         schedule.set_start(job, start)
         return True
 
     @staticmethod
     def _contention(slot: FreeSlot, remaining: Sequence[IOJob]) -> int:
-        """Number of still-pending jobs that could also use this slot."""
+        """Number of still-pending jobs that could also use this slot (reference)."""
         return sum(1 for other in remaining if slot.can_fit(other))
 
     # -- case 2: fit by shifting ----------------------------------------------

@@ -40,8 +40,11 @@ class FreeSlot:
 
     def can_fit(self, job: IOJob) -> bool:
         """Whether the job can be fully executed inside the slot within its release window."""
-        usable = self.overlap(job.release, job.deadline)
-        return usable is not None and usable.capacity >= job.wcet
+        # Pure arithmetic (no intermediate FreeSlot): this predicate runs tens
+        # of thousands of times per LCC-D allocation.
+        lo = self.start if self.start >= job.release else job.release
+        hi = self.end if self.end <= job.deadline else job.deadline
+        return hi > lo and hi - lo >= job.wcet
 
     def fit_start(self, job: IOJob, *, prefer_ideal: bool = False) -> Optional[int]:
         """Start time for the job inside this slot, or ``None`` if it does not fit.
@@ -50,13 +53,13 @@ class FreeSlot:
         is chosen; otherwise the earliest feasible start in the slot is used
         (pure schedulability-driven placement, as in the paper's static method).
         """
-        usable = self.overlap(job.release, job.deadline)
-        if usable is None or usable.capacity < job.wcet:
+        earliest = self.start if self.start >= job.release else job.release
+        hi = self.end if self.end <= job.deadline else job.deadline
+        if hi <= earliest or hi - earliest < job.wcet:
             return None
-        earliest = usable.start
-        latest = usable.end - job.wcet
         if not prefer_ideal:
             return earliest
+        latest = hi - job.wcet
         return min(max(job.ideal_start, earliest), latest)
 
 

@@ -34,6 +34,7 @@ import json
 import sys
 from typing import List, Optional, Sequence, TextIO
 
+from repro.core.profiling import DEFAULT_PROFILE_PATH, maybe_profile
 from repro.scenario import create_scenario, format_scenario_listing
 from repro.scheduling import format_scheduler_listing
 from repro.service.messages import ScheduleRequest
@@ -121,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory for the persistent content-addressed schedule cache "
         "(omit to cache in memory for this batch only)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=DEFAULT_PROFILE_PATH,
+        default=None,
+        metavar="PSTATS",
+        help="run the batch under cProfile: dump raw stats to PSTATS "
+        f"(default: {DEFAULT_PROFILE_PATH}) and print the top-20 cumulative "
+        "summary to stderr",
     )
     return parser
 
@@ -212,9 +223,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.input, "r", encoding="utf-8") as handle:
             requests = read_requests(handle, source=args.input)
 
-    with SchedulingService(n_workers=args.workers, cache_dir=args.cache_dir) as service:
-        responses = service.submit_batch(requests)
-        stats = service.stats()
+    with maybe_profile(args.profile):
+        with SchedulingService(
+            n_workers=args.workers, cache_dir=args.cache_dir
+        ) as service:
+            responses = service.submit_batch(requests)
+            stats = service.stats()
 
     lines = "".join(response.to_json() + "\n" for response in responses)
     if args.output is None:

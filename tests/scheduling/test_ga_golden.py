@@ -1,0 +1,119 @@
+"""Golden determinism tests for the vectorized GA.
+
+Two layers pin the stack's core invariant — GA results are a pure function of
+(workload, spec, seed), independent of worker count and host:
+
+* a pinned-seed regression fixture (``fixtures/ga_golden.json``, generated at
+  the vectorization change) freezes one NSGA-II outcome end to end: Pareto
+  front, best-per-objective points, and the chosen schedule's exact start
+  times.  Any change to the RNG draw protocol, the repair function, or the
+  archive semantics shows up here as a hard diff;
+* service-level digests: ``ga:...`` requests replayed through
+  :class:`SchedulingService` at 1 and 4 workers must produce bit-identical
+  response content (and must still match the SHA-256 recorded in the
+  fixture).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scheduling import GAConfig, GAScheduler
+from repro.service import (
+    ScheduleRequest,
+    SchedulerSpec,
+    SchedulingService,
+    execute_request,
+)
+from repro.taskgen import GeneratorConfig, SystemGenerator
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "ga_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def response_digest(response) -> str:
+    blob = json.dumps(response.result_dict(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestPinnedSeedRegression:
+    """One NSGA2Result frozen at the vectorization change."""
+
+    @pytest.fixture(scope="class")
+    def result(self, golden):
+        workload = golden["workload"]
+        config = golden["config"]
+        system = SystemGenerator(rng=workload["generator_rng"]).generate(
+            workload["utilisation"]
+        )
+        return GAScheduler(GAConfig(**config)).schedule_taskset(system)
+
+    def test_overall_metrics(self, golden, result):
+        assert result.schedulable == golden["schedulable"]
+        assert result.psi == golden["psi"]
+        assert result.upsilon == golden["upsilon"]
+
+    def test_pareto_front_and_best_points(self, golden, result):
+        for device, expected in golden["per_device"].items():
+            info = result.per_device[device].info
+            assert info["generations_run"] == expected["generations_run"]
+            assert info["evaluations"] == expected["evaluations"]
+            assert info["pareto_size"] == expected["pareto_size"]
+            front = [list(point) for point in info["pareto_front"]]
+            assert front == expected["pareto_front"]
+            for key in ("best_psi", "best_psi_upsilon", "best_upsilon", "best_upsilon_psi"):
+                assert info[key] == expected[key]
+
+    def test_chosen_schedule_start_times(self, golden, result):
+        for device, expected in golden["per_device"].items():
+            schedule = result.per_device[device].schedule
+            starts = {
+                f"{entry.job.key[0]}/{entry.job.key[1]}": entry.start
+                for entry in schedule.entries
+            }
+            assert starts == expected["schedule"]
+
+
+class TestServiceWorkerInvariance:
+    """GA response content keys and payloads at 1 and 4 workers."""
+
+    @pytest.fixture(scope="class")
+    def requests(self, golden):
+        requests = []
+        for request_key in golden["service_responses"]:
+            index, spec = request_key.split("/", 1)
+            task_set = SystemGenerator(GeneratorConfig(), rng=int(index)).generate(0.4)
+            requests.append(
+                ScheduleRequest(
+                    task_set=task_set,
+                    spec=SchedulerSpec.parse(spec),
+                    request_id=request_key,
+                )
+            )
+        return requests
+
+    def test_content_keys_match_fixture(self, golden, requests):
+        for request in requests:
+            expected = golden["service_responses"][request.request_id]
+            assert request.content_key() == expected["content_key"]
+
+    def test_response_digests_match_fixture_at_1_and_4_workers(self, golden, requests):
+        for n_workers in (1, 4):
+            with SchedulingService(n_workers=n_workers, cache=None) as service:
+                responses = service.submit_batch(requests)
+            for request, response in zip(requests, responses):
+                expected = golden["service_responses"][request.request_id]
+                assert response_digest(response) == expected["result_sha256"], (
+                    f"{request.request_id} at {n_workers} worker(s)"
+                )
+
+    def test_direct_execution_matches_fixture(self, golden, requests):
+        for request in requests:
+            expected = golden["service_responses"][request.request_id]
+            assert response_digest(execute_request(request)) == expected["result_sha256"]
