@@ -1,0 +1,53 @@
+"""Benchmarks of the serving daemon (``repro.server``).
+
+What makes the daemon worth running is the *warm* path: a request whose
+answer is already cached costs one socket round-trip instead of a process
+start, pool spin-up and cache load.  Two numbers track it in
+``BENCH_results.json``:
+
+* **warm round-trip latency** — one cached schedule request through the full
+  stack (client encode, TCP, framing, dispatch, cache hit, response encode);
+* **pipelined warm throughput** — a windowed batch of cached requests on one
+  connection, the way ``python -m repro.server request`` actually ships
+  batches.
+"""
+
+import pytest
+
+from repro.server import ServerClient, ThreadedServer
+from repro.service import ScheduleRequest, SchedulerSpec
+from repro.scenario import create_scenario
+
+SCENARIO = create_scenario("short-hyperperiod")
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    with ThreadedServer(n_workers=1, port=0) as threaded:
+        with ServerClient(threaded.host, threaded.port) as client:
+            request = ScheduleRequest(
+                scenario=SCENARIO, spec=SchedulerSpec.parse("static")
+            )
+            client.schedule(request)  # warm the daemon's cache
+            yield client, request
+
+
+@pytest.mark.benchmark(group="server")
+def test_warm_round_trip_latency(benchmark, warm_server):
+    client, request = warm_server
+    response = benchmark(client.schedule, request)
+    assert response.cache == "hit"
+    print(f"\nwarm round-trip: {benchmark.stats.stats.median * 1e6:.0f} us")
+
+
+@pytest.mark.benchmark(group="server")
+def test_warm_pipelined_batch_throughput(benchmark, warm_server):
+    client, request = warm_server
+    batch = [request] * 64
+    responses = benchmark(client.schedule_batch, batch)
+    assert all(response.cache == "hit" for response in responses)
+    per_request = benchmark.stats.stats.median / len(batch)
+    print(
+        f"\npipelined warm batch: {per_request * 1e6:.1f} us/request "
+        f"({len(batch) / benchmark.stats.stats.median:,.0f} req/s)"
+    )

@@ -190,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         "service consumers (omit to cache in memory for this run only)",
     )
     run.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="evaluate cells through a running repro.server daemon instead of "
+        "a private worker pool (see `python -m repro.server serve`); "
+        "--workers/--cache-dir then belong to the daemon and are rejected "
+        "here",
+    )
+    run.add_argument(
         "--resume",
         action="store_true",
         help="continue an interrupted campaign from its journal (zero "
@@ -334,19 +343,50 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     except (ValueError, KeyError) as error:
         parser.error(f"invalid campaign spec: {error}")
 
-    with CampaignRunner(
-        spec,
-        artifact_dir=args.artifact_dir,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-    ) as runner:
-        if runner.completed_cells and not args.resume:
-            parser.error(
-                f"campaign {spec.name!r} ({spec.content_key()}) already has "
-                f"{runner.completed_cells} completed cell(s) under "
-                f"{args.artifact_dir!r}; pass --resume to continue it"
-            )
-        result = runner.run(max_cells=args.max_cells)
+    service = simulation = None
+    if args.server is not None:
+        if args.workers != 1:
+            parser.error("--workers is the daemon's setting; drop it with --server")
+        if args.cache_dir is not None:
+            parser.error("--cache-dir is the daemon's setting; drop it with --server")
+        from repro.server import (
+            RemoteSchedulingService,
+            RemoteSimulationService,
+            parse_address,
+        )
+
+        try:
+            host, port = parse_address(args.server)
+        except ValueError as error:
+            parser.error(f"--server: {error}")
+        try:
+            service = RemoteSchedulingService(host, port)
+            if spec.runtime is not None:
+                simulation = RemoteSimulationService(host, port)
+        except OSError as error:
+            parser.error(f"--server: cannot reach {args.server}: {error}")
+
+    try:
+        with CampaignRunner(
+            spec,
+            artifact_dir=args.artifact_dir,
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+            service=service,
+            simulation=simulation,
+        ) as runner:
+            if runner.completed_cells and not args.resume:
+                parser.error(
+                    f"campaign {spec.name!r} ({spec.content_key()}) already has "
+                    f"{runner.completed_cells} completed cell(s) under "
+                    f"{args.artifact_dir!r}; pass --resume to continue it"
+                )
+            result = runner.run(max_cells=args.max_cells)
+    finally:
+        if simulation is not None:
+            simulation.close()
+        if service is not None:
+            service.close()
 
     done = f"{len(result.records)}/{spec.n_cells} cells done"
     if spec.runtime is not None:

@@ -244,7 +244,16 @@ class CampaignRunner:
     service:
         An existing service to schedule through (its worker pool and cache
         are reused; ``n_workers``/``cache_dir`` are then ignored).  The
-        caller keeps ownership and must close it.
+        caller keeps ownership and must close it.  Anything with the
+        service's ``submit_batch``/``n_workers``/``close`` surface works —
+        in particular :class:`~repro.server.RemoteSchedulingService`, which
+        rides a running serving daemon.
+    simulation:
+        Like ``service``, for the run-time side: an existing simulation
+        service (or :class:`~repro.server.RemoteSimulationService`) to
+        simulate through.  The caller keeps ownership and must close it.
+        Without one, a campaign with a runtime section builds its own
+        :class:`~repro.runtime.SimulationService` over ``service``.
     """
 
     def __init__(
@@ -255,6 +264,7 @@ class CampaignRunner:
         n_workers: int = 1,
         cache_dir: Optional[str] = None,
         service: Optional[SchedulingService] = None,
+        simulation: Optional[SimulationService] = None,
     ):
         self.spec = spec
         self.n_workers = n_workers if service is None else service.n_workers
@@ -268,8 +278,9 @@ class CampaignRunner:
         # The simulation side (present only when the spec has a runtime
         # section) schedules through the same SchedulingService, so run-time
         # cells reuse the schedules their schedule cells just computed.
-        self.simulation: Optional[SimulationService] = None
-        if spec.runtime is not None:
+        self.simulation: Optional[SimulationService] = simulation
+        self._owns_simulation = simulation is None
+        if simulation is None and spec.runtime is not None:
             self.simulation = SimulationService(
                 n_workers=self.n_workers, scheduling=self.service
             )
@@ -290,7 +301,7 @@ class CampaignRunner:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
-        if self.simulation is not None:
+        if self.simulation is not None and self._owns_simulation:
             self.simulation.close()
         if self._owns_service:
             self.service.close()

@@ -43,14 +43,14 @@ from repro.runtime.models import (
     ExecutionModelSpec,
     format_execution_model_listing,
 )
-from repro.runtime.service import SimulationService
+from repro.runtime.service import (
+    SCHEDULE_CACHE_SUBDIR,
+    SIM_CACHE_SUBDIR,
+    SimulationService,
+)
 from repro.scenario import create_scenario, format_scenario_listing
 from repro.scheduling import format_scheduler_listing
 from repro.service.spec import SchedulerSpec
-
-#: Subdirectories of ``--cache-dir`` holding the two content-addressed caches.
-SIM_CACHE_SUBDIR = "sim-responses"
-SCHEDULE_CACHE_SUBDIR = "schedules"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         f"{SIM_CACHE_SUBDIR}/, offline schedules under {SCHEDULE_CACHE_SUBDIR}/ "
         "(omit to cache in memory for this batch only)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the simulation and schedule caches' lifetime "
+        "counters (entries/hits/misses/stores) to stderr after the batch",
+    )
     return parser
 
 
@@ -247,6 +254,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ) as service:
         responses = service.submit_batch(requests)
         stats = service.stats()
+        scheduling_stats = service.scheduling.stats()
 
     lines = "".join(response.to_json() + "\n" for response in responses)
     if args.output is None:
@@ -261,6 +269,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{hits} served from cache",
         file=sys.stderr,
     )
+    if args.verbose:
+        from repro.service.__main__ import format_cache_stats
+
+        print(format_cache_stats("sim cache", stats), file=sys.stderr)
+        print(format_cache_stats("schedule cache", scheduling_stats), file=sys.stderr)
     return 0
 
 

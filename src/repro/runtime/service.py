@@ -26,7 +26,7 @@ The controller-simulation experiment, the campaign runner and the
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -41,6 +41,12 @@ from repro.service.service import SchedulingService, execute_request
 
 SIM_CACHE_ENTRY_KIND = "repro/sim-cache-entry"
 SIM_CACHE_ENTRY_VERSION = 1
+
+#: Subdirectories of a shared ``--cache-dir`` holding the two
+#: content-addressed caches (the batch CLIs and the serving daemon agree on
+#: this layout, so they warm each other through the same directory).
+SIM_CACHE_SUBDIR = "sim-responses"
+SCHEDULE_CACHE_SUBDIR = "schedules"
 
 
 class SimulationCache(ScheduleCache):
@@ -190,7 +196,7 @@ def execute_simulation(
     )
 
 
-def _execute_pooled(
+def execute_simulation_job(
     args: Tuple[SimulationRequest, Optional[str], Optional[Dict[str, object]]],
 ) -> SimulationResponse:
     """Worker-side entry point: one request, plus how to get its schedule.
@@ -239,6 +245,11 @@ class SimulationService:
         *and* for pool workers (each worker opens the shared directory).
         When ``scheduling`` is given with a directory-backed cache, that
         directory is reused for the workers automatically.
+    executor:
+        An existing worker pool to execute on instead of creating one (the
+        :mod:`repro.server` daemon shares one warm pool between scheduling
+        and simulation).  The caller keeps ownership; ``n_workers`` should
+        describe its size.
     """
 
     def __init__(
@@ -249,6 +260,7 @@ class SimulationService:
         cache: Union[SimulationCache, None, object] = _CACHE_DEFAULT,
         scheduling: Optional[SchedulingService] = None,
         schedule_cache_dir: Optional[str] = None,
+        executor: Optional[Executor] = None,
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
@@ -269,14 +281,15 @@ class SimulationService:
         else:
             self.scheduling = SchedulingService(cache_dir=schedule_cache_dir)
             self._owns_scheduling = True
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[Executor] = executor
+        self._owns_executor = executor is None
         #: Requests actually simulated (cache misses) over this service's lifetime.
         self.computed = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        if self._executor is not None:
+        if self._executor is not None and self._owns_executor:
             self._executor.shutdown()
             self._executor = None
         if self._owns_scheduling:
@@ -288,7 +301,7 @@ class SimulationService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _get_executor(self) -> ProcessPoolExecutor:
+    def _get_executor(self) -> Executor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._executor
@@ -305,6 +318,26 @@ class SimulationService:
     def submit(self, request: SimulationRequest) -> SimulationResponse:
         """Execute one request (through the cache)."""
         return self.submit_batch([request])[0]
+
+    def execute_in_pool(self, request: SimulationRequest) -> "Future[SimulationResponse]":
+        """Submit one request to the worker pool; returns its future.
+
+        The *awaitable unit* of simulation execution (no response-cache
+        lookup, no provenance): a schedule the scheduling service already
+        holds ships with the job, otherwise the worker resolves it through
+        the shared on-disk schedule cache (or computes it in-process).  The
+        async serving daemon (:mod:`repro.server`) wraps these futures into
+        its event loop; synchronous callers should prefer :meth:`submit`.
+        """
+        schedule_cache = self.scheduling.cache
+        cached = (
+            schedule_cache.peek(request.schedule_request().content_key())
+            if schedule_cache is not None
+            else None
+        )
+        return self._get_executor().submit(
+            execute_simulation_job, (request, self._schedule_cache_dir(), cached)
+        )
 
     def submit_batch(
         self, requests: Iterable[SimulationRequest]
@@ -379,7 +412,9 @@ class SimulationService:
                 jobs.append((request, schedule_cache_dir, cached))
             chunksize = max(1, len(requests) // (self.n_workers * 4))
             results = list(
-                self._get_executor().map(_execute_pooled, jobs, chunksize=chunksize)
+                self._get_executor().map(
+                    execute_simulation_job, jobs, chunksize=chunksize
+                )
             )
         self.computed += len(results)
         return {key: result for (key, _), result in zip(work, results)}
@@ -387,12 +422,14 @@ class SimulationService:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime counters: simulations computed plus cache hit/miss totals."""
+        """Lifetime counters: simulations computed plus cache hit/miss/store totals."""
         stats = {"computed": self.computed}
         if self.cache is not None:
+            cache_stats = self.cache.stats()
             stats.update(
-                cache_entries=len(self.cache),
-                cache_hits=self.cache.hits,
-                cache_misses=self.cache.misses,
+                cache_entries=cache_stats["entries"],
+                cache_hits=cache_stats["hits"],
+                cache_misses=cache_stats["misses"],
+                cache_stores=cache_stats["stores"],
             )
         return stats

@@ -1,0 +1,68 @@
+"""repro.server — the persistent serving daemon and its clients.
+
+The batch CLIs (:mod:`repro.service`, :mod:`repro.runtime`) pay pool spin-up,
+cache loading and interpreter start on every invocation.  This package keeps
+all of that *warm* behind a socket:
+
+* :class:`ReproServer` — an asyncio TCP daemon owning one
+  :class:`~repro.service.SchedulingService` + one
+  :class:`~repro.runtime.SimulationService` (shared worker pool, shared
+  content-addressed caches), with bounded admission (reject + retry-after
+  under load), cross-request in-flight dedup, live ``stats``/``health`` ops
+  and graceful draining shutdown; :class:`ThreadedServer` runs one on a
+  background thread.
+* :class:`ServerClient` / :class:`AsyncServerClient` — sync and asyncio
+  clients over the newline-delimited JSON wire protocol
+  (:mod:`repro.server.protocol`), including windowed batch pipelining.
+* :class:`RemoteSchedulingService` / :class:`RemoteSimulationService` —
+  service look-alikes over a daemon, so e.g.
+  :class:`~repro.campaign.CampaignRunner` rides a warm server via
+  ``--server HOST:PORT``.
+* ``python -m repro.server`` — ``serve`` runs a daemon; ``request`` pipes
+  the batch CLIs' JSONL envelopes through one; ``stats``/``health``/
+  ``shutdown`` are one-shot ops.
+
+Answers are byte-identical to the batch CLIs' output for the same requests —
+the daemon changes where the work runs, never what it computes.
+"""
+
+from repro.server.client import (
+    AsyncServerClient,
+    RemoteSchedulingService,
+    RemoteSimulationService,
+    ServerClient,
+    ServerError,
+    parse_address,
+)
+from repro.server.daemon import ReproServer, ThreadedServer
+from repro.server.dispatcher import (
+    DEFAULT_MAX_QUEUE,
+    Dispatcher,
+    Draining,
+    Overloaded,
+)
+from repro.server.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    ServerRequest,
+)
+
+__all__ = [
+    "ReproServer",
+    "ThreadedServer",
+    "ServerClient",
+    "AsyncServerClient",
+    "ServerError",
+    "RemoteSchedulingService",
+    "RemoteSimulationService",
+    "parse_address",
+    "Dispatcher",
+    "Overloaded",
+    "Draining",
+    "FrameDecoder",
+    "ProtocolError",
+    "ServerRequest",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_MAX_LINE_BYTES",
+]

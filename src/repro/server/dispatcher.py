@@ -1,0 +1,244 @@
+"""Async request dispatch: admission control, in-flight dedup, live counters.
+
+The dispatcher is the daemon's policy layer between the wire and the warm
+services.  For every admitted request it runs exactly the same pure execution
+path as the batch CLIs (:meth:`SchedulingService.execute_in_pool
+<repro.service.SchedulingService.execute_in_pool>` /
+:meth:`SimulationService.execute_in_pool
+<repro.runtime.SimulationService.execute_in_pool>` on the shared worker
+pool), and layers three serving-only behaviours on top:
+
+* **admission control** — at most ``max_queue`` computations may be queued or
+  running at once; a request that would exceed the bound is rejected with
+  :class:`Overloaded`, carrying a ``retry_after_s`` hint derived from the
+  observed compute time and the current backlog (the client library sleeps
+  and retries on it).  Cache hits and deduplicated followers bypass
+  admission entirely: they cost no compute.
+* **cross-request in-flight dedup** — a request whose content key is already
+  being computed (for any client, on any connection) awaits the same future
+  instead of re-evaluating.  The leader's response is stamped ``miss``;
+  followers are stamped ``hit`` exactly like intra-batch duplicates in
+  :meth:`SchedulingService.submit_batch`.
+* **drain** — once :meth:`drain` is called, new computations are refused with
+  :class:`Draining` while everything already in flight runs to completion,
+  which is what makes the daemon's shutdown graceful.
+
+Everything is content-addressed and pure, so admission/dedup/caching can
+never change an answer — only how much work producing it costs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.runtime.messages import SimulationRequest, SimulationResponse
+from repro.runtime.service import SimulationService
+from repro.service.messages import (
+    CACHE_DISABLED,
+    CACHE_HIT,
+    CACHE_MISS,
+    ScheduleRequest,
+    ScheduleResponse,
+)
+from repro.service.service import SchedulingService
+
+#: Default bound on queued-or-running computations.
+DEFAULT_MAX_QUEUE = 64
+
+#: Dispatch kinds (stats sections and in-flight namespaces).
+KIND_SCHEDULE = "schedule"
+KIND_SIMULATION = "simulation"
+
+Response = Union[ScheduleResponse, SimulationResponse]
+
+
+class Overloaded(Exception):
+    """Admission refused: the queue is full.  Retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(f"admission queue full; retry after {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class Draining(Exception):
+    """Admission refused: the daemon is shutting down."""
+
+
+class Dispatcher:
+    """Admission + dedup + caching over the two warm services' pools."""
+
+    def __init__(
+        self,
+        *,
+        scheduling: SchedulingService,
+        simulation: SimulationService,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+    ):
+        if not isinstance(max_queue, int) or max_queue < 1:
+            raise ValueError(f"max_queue must be a positive integer, got {max_queue!r}")
+        self.scheduling = scheduling
+        self.simulation = simulation
+        self.max_queue = max_queue
+        self.draining = False
+        #: Content keys currently being computed -> the future their waiters share.
+        self._inflight: Dict[Tuple[str, str], "asyncio.Future[Response]"] = {}
+        self._active = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.failed = 0
+        self._kind_counters = {
+            KIND_SCHEDULE: {"computed": 0, "in_flight_dedup": 0},
+            KIND_SIMULATION: {"computed": 0, "in_flight_dedup": 0},
+        }
+        # EWMA of observed compute seconds, seeding the retry-after hint.
+        self._avg_compute_s = 0.1
+
+    # -- the API -----------------------------------------------------------------
+
+    async def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Answer one scheduling request (cache -> dedup -> admitted compute)."""
+        return await self._dispatch(
+            KIND_SCHEDULE,
+            request.content_key(),
+            self.scheduling.cache,
+            lambda: self.scheduling.execute_in_pool(request),
+            request.request_id,
+            ScheduleResponse,
+        )
+
+    async def simulate(self, request: SimulationRequest) -> SimulationResponse:
+        """Answer one simulation request (cache -> dedup -> admitted compute)."""
+        return await self._dispatch(
+            KIND_SIMULATION,
+            request.content_key(),
+            self.simulation.cache,
+            lambda: self.simulation.execute_in_pool(request),
+            request.request_id,
+            SimulationResponse,
+        )
+
+    async def _dispatch(
+        self,
+        kind: str,
+        key: str,
+        cache,
+        submit: Callable[[], "Any"],
+        request_id: Optional[str],
+        response_cls,
+    ) -> Response:
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return response_cls.from_result_dict(
+                    cached, request_id=request_id, cache=CACHE_HIT, cache_key=key
+                )
+
+        token = (kind, key)
+        existing = self._inflight.get(token)
+        if existing is not None:
+            # Same content, already being computed for someone else: await the
+            # shared future (shielded — one waiter's cancellation must not
+            # cancel the computation out from under the others).
+            self._kind_counters[kind]["in_flight_dedup"] += 1
+            result = await asyncio.shield(existing)
+            return replace(result, request_id=request_id, cache=CACHE_HIT, cache_key=key)
+
+        if self.draining:
+            raise Draining("daemon is draining; no new work admitted")
+        if self._active >= self.max_queue:
+            self.rejected += 1
+            raise Overloaded(self.retry_after_s())
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Response]" = loop.create_future()
+        self._inflight[token] = future
+        self._active += 1
+        self.admitted += 1
+        # The computation runs as its own task, decoupled from this request's:
+        # a client that disconnects mid-compute (cancelling its handler task)
+        # must not tear down work that other waiters — or the cache — still
+        # want.  Leader and followers alike await the shielded shared future.
+        loop.create_task(self._compute(kind, token, cache, submit, future))
+        result = await asyncio.shield(future)
+        status = CACHE_MISS if cache is not None else CACHE_DISABLED
+        return replace(result, request_id=request_id, cache=status, cache_key=key)
+
+    async def _compute(
+        self,
+        kind: str,
+        token: Tuple[str, str],
+        cache,
+        submit: Callable[[], "Any"],
+        future: "asyncio.Future[Response]",
+    ) -> None:
+        started = time.perf_counter()
+        try:
+            result = await asyncio.wrap_future(submit())
+        except BaseException as error:
+            self.failed += 1
+            future.set_exception(error)
+            future.exception()  # waiters re-raise on their own await
+        else:
+            self._avg_compute_s += 0.2 * (
+                (time.perf_counter() - started) - self._avg_compute_s
+            )
+            if cache is not None:
+                # Populate the cache *before* dropping the in-flight token:
+                # an identical request arriving in between must find one of
+                # the two, never a gap that would recompute.
+                cache.put(token[1], result.result_dict())
+            self._kind_counters[kind]["computed"] += 1
+            future.set_result(result)
+        finally:
+            del self._inflight[token]
+            self._active -= 1
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Refuse new work and wait for everything in flight to finish."""
+        self.draining = True
+        pending = [future for future in self._inflight.values() if not future.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    # -- introspection -----------------------------------------------------------
+
+    def retry_after_s(self) -> float:
+        """Back-off hint: roughly one backlog's worth of observed compute time."""
+        workers = max(1, self.scheduling.n_workers)
+        backlog = max(1, self._active)
+        return round(max(0.05, self._avg_compute_s * backlog / workers), 3)
+
+    @property
+    def queue_depth(self) -> int:
+        """Computations currently queued or running."""
+        return self._active
+
+    def stats(self) -> Dict[str, Any]:
+        """Live snapshot: queue, admission counters, per-kind compute + caches."""
+        schedule_cache = self.scheduling.cache
+        sim_cache = self.simulation.cache
+        return {
+            "queue": {"depth": self._active, "limit": self.max_queue},
+            "requests": {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "in_flight_dedup": sum(
+                    counters["in_flight_dedup"]
+                    for counters in self._kind_counters.values()
+                ),
+            },
+            KIND_SCHEDULE: {
+                **self._kind_counters[KIND_SCHEDULE],
+                "cache": schedule_cache.stats() if schedule_cache is not None else None,
+            },
+            KIND_SIMULATION: {
+                **self._kind_counters[KIND_SIMULATION],
+                "cache": sim_cache.stats() if sim_cache is not None else None,
+            },
+        }

@@ -124,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit to cache in memory for this batch only)",
     )
     parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the schedule cache's lifetime counters "
+        "(entries/hits/misses/stores) to stderr after the batch",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         const=DEFAULT_PROFILE_PATH,
@@ -243,7 +250,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{hits} served from cache",
         file=sys.stderr,
     )
+    if args.verbose:
+        print(format_cache_stats("schedule cache", stats), file=sys.stderr)
     return 0
+
+
+def format_cache_stats(label: str, stats: dict) -> str:
+    """One stderr line of a service's cache counters (``--verbose`` mode)."""
+    if "cache_entries" not in stats:
+        return f"{label}: disabled"
+    return (
+        f"{label}: {stats['cache_entries']} entries, "
+        f"{stats['cache_hits']} hits, {stats['cache_misses']} misses, "
+        f"{stats['cache_stores']} stores"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,11 +13,20 @@ entries back on lookup, so a service restarted against a warm directory
 recomputes nothing.  Files written by a *newer* format version raise
 :class:`~repro.core.serialization.PayloadVersionError` instead of being
 silently recomputed and overwritten; corrupt files are treated as misses.
+
+The cache is safe for concurrent use: in-process state is guarded by a lock
+(the async serving daemon of :mod:`repro.server` touches one cache from the
+event loop and from executor callback threads), and the on-disk form
+tolerates two *processes* racing on the same key — every writer goes through
+its own unique temp file + atomic rename, every writer of a given key holds
+an identical (content-addressed) result, and a cache directory deleted or
+not-yet-created underneath a writer is recreated instead of crashing.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -55,12 +64,15 @@ class ScheduleCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[str, Dict[str, Any]] = {}
-        #: Lookup statistics over this cache's lifetime.
+        self._lock = threading.Lock()
+        #: Lookup/store statistics over this cache's lifetime.
         self.hits = 0
         self.misses = 0
+        self.stores = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         return self.peek(key) is not None
@@ -69,29 +81,48 @@ class ScheduleCache:
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
         """Like :meth:`get` but without touching the hit/miss statistics."""
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
         if entry is None and self.directory is not None:
+            # Disk I/O happens outside the lock; racing loaders of the same
+            # key read identical (content-addressed) files, first one in wins.
             entry = self._load(key)
             if entry is not None:
-                self._entries[key] = entry
+                with self._lock:
+                    entry = self._entries.setdefault(key, entry)
         return entry
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored result for ``key``, or ``None`` on a miss."""
         entry = self.peek(key)
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return entry
 
     def put(self, key: str, result: Dict[str, Any]) -> None:
         """Store ``result`` under ``key`` (idempotent; first write wins)."""
-        if key in self._entries:
-            return
-        self._entries[key] = result
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = result
+            self.stores += 1
         if self.directory is not None:
             self._persist(key, result)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the lifetime counters (entries, hits, misses, stores)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+            }
 
     # -- the on-disk form --------------------------------------------------------
 
@@ -110,7 +141,14 @@ class ScheduleCache:
         payload = versioned_payload(
             self.kind, self.version, {"key": key, "result": result}
         )
-        atomic_write_json(self._path(key), payload)
+        try:
+            atomic_write_json(self._path(key), payload)
+        except FileNotFoundError:
+            # The directory vanished (or was never created) underneath us —
+            # e.g. a concurrent cleanup, or a writer racing the first mkdir.
+            # Recreate it and retry once; a second failure is a real error.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_json(self._path(key), payload)
 
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)

@@ -27,7 +27,7 @@ the ``python -m repro.service`` JSONL CLI all schedule through this facade.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -201,6 +201,13 @@ class SchedulingService:
         responses carry ``cache="disabled"``.  Content-identical requests
         *within* one batch are still computed only once (the execution path
         is pure, so recomputing them could never change the answer).
+    executor:
+        An existing worker pool to execute on instead of creating one — the
+        serving daemon of :mod:`repro.server` shares one warm
+        ``ProcessPoolExecutor`` between the scheduling and simulation
+        services this way.  The caller keeps ownership (:meth:`close` will
+        not shut a borrowed executor down); ``n_workers`` should describe
+        its size.
 
     Use the service as a context manager (or call :meth:`close`) to release
     the worker pool.
@@ -212,6 +219,7 @@ class SchedulingService:
         n_workers: int = 1,
         cache_dir: Optional[str] = None,
         cache: Union[ScheduleCache, None, object] = _CACHE_DEFAULT,
+        executor: Optional[Executor] = None,
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
@@ -222,14 +230,15 @@ class SchedulingService:
             self.cache: Optional[ScheduleCache] = ScheduleCache(cache_dir)
         else:
             self.cache = cache  # type: ignore[assignment]
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[Executor] = executor
+        self._owns_executor = executor is None
         #: Requests actually computed (cache misses) over this service's lifetime.
         self.computed = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        if self._executor is not None:
+        if self._executor is not None and self._owns_executor:
             self._executor.shutdown()
             self._executor = None
 
@@ -239,7 +248,7 @@ class SchedulingService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _get_executor(self) -> ProcessPoolExecutor:
+    def _get_executor(self) -> Executor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._executor
@@ -249,6 +258,17 @@ class SchedulingService:
     def submit(self, request: ScheduleRequest) -> ScheduleResponse:
         """Execute one request (through the cache)."""
         return self.submit_batch([request])[0]
+
+    def execute_in_pool(self, request: ScheduleRequest) -> "Future[ScheduleResponse]":
+        """Submit one request to the worker pool; returns its future.
+
+        This is the *awaitable unit* of request execution: no cache lookup,
+        no provenance stamping — just the pure :func:`execute_request` running
+        on the pool.  The async serving daemon (:mod:`repro.server`) wraps
+        these futures into its event loop and layers cache + in-flight dedup
+        on top; synchronous callers should prefer :meth:`submit`.
+        """
+        return self._get_executor().submit(execute_request, request)
 
     def submit_batch(self, requests: Iterable[ScheduleRequest]) -> List[ScheduleResponse]:
         """Execute a batch; responses are returned in request order.
@@ -312,12 +332,14 @@ class SchedulingService:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime counters: requests computed plus cache hit/miss totals."""
+        """Lifetime counters: requests computed plus cache hit/miss/store totals."""
         stats = {"computed": self.computed}
         if self.cache is not None:
+            cache_stats = self.cache.stats()
             stats.update(
-                cache_entries=len(self.cache),
-                cache_hits=self.cache.hits,
-                cache_misses=self.cache.misses,
+                cache_entries=cache_stats["entries"],
+                cache_hits=cache_stats["hits"],
+                cache_misses=cache_stats["misses"],
+                cache_stores=cache_stats["stores"],
             )
         return stats

@@ -1,0 +1,86 @@
+"""Campaign-over-daemon tests: CampaignRunner riding a warm repro.server."""
+
+import pytest
+
+from repro.campaign import build_campaign
+from repro.campaign.runner import CampaignRunner
+from repro.scenario import Scenario, WorkloadSpec
+from repro.server import (
+    RemoteSchedulingService,
+    RemoteSimulationService,
+    ThreadedServer,
+)
+from repro.taskgen import GeneratorConfig
+
+
+def tiny_scenario(name="tiny-server"):
+    return Scenario(
+        name=name,
+        workload=WorkloadSpec(
+            utilisation=0.4,
+            generator=GeneratorConfig(
+                hyperperiod_ms=360, min_period_ms=60, max_period_ms=120
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_campaign(
+        name="over-server",
+        scenarios=(tiny_scenario(),),
+        methods=("static", "gpiocp"),
+        execution_models=("dedicated-controller",),
+    )
+
+
+class TestCampaignOverServer:
+    def test_remote_run_matches_local_run(self, spec):
+        with CampaignRunner(spec) as local_runner:
+            local = local_runner.run()
+        with ThreadedServer(n_workers=1, port=0) as threaded:
+            service = RemoteSchedulingService(threaded.host, threaded.port)
+            simulation = RemoteSimulationService(threaded.host, threaded.port)
+            try:
+                with CampaignRunner(
+                    spec, service=service, simulation=simulation
+                ) as remote_runner:
+                    remote = remote_runner.run()
+                stats = service.stats()
+            finally:
+                simulation.close()
+                service.close()
+        assert remote.complete and local.complete
+        assert remote.records == local.records
+        assert remote.runtime_records == local.runtime_records
+        # The cells really ran server-side.
+        assert stats["schedule"]["computed"] == len(local.records)
+        assert stats["simulation"]["computed"] == len(local.runtime_records)
+
+    def test_warm_daemon_resumes_for_free(self, spec, tmp_path):
+        with ThreadedServer(n_workers=1, port=0) as threaded:
+            for _ in range(2):
+                service = RemoteSchedulingService(threaded.host, threaded.port)
+                simulation = RemoteSimulationService(threaded.host, threaded.port)
+                try:
+                    with CampaignRunner(
+                        spec, service=service, simulation=simulation
+                    ) as runner:
+                        result = runner.run()
+                    assert result.complete
+                finally:
+                    simulation.close()
+                    service.close()
+            with RemoteSchedulingService(threaded.host, threaded.port) as control:
+                stats = control.stats()
+        # Second campaign run hit the daemon's caches throughout: the
+        # compute counters did not move past the first run's cell count.
+        assert stats["schedule"]["computed"] == len(result.records)
+        assert stats["simulation"]["computed"] == len(result.runtime_records)
+        assert stats["schedule"]["cache"]["hits"] >= len(result.records)
+
+    def test_remote_service_reports_daemon_worker_count(self):
+        with ThreadedServer(n_workers=2, port=0) as threaded:
+            with RemoteSchedulingService(threaded.host, threaded.port) as service:
+                assert service.n_workers == 2

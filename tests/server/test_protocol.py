@@ -1,0 +1,229 @@
+"""Wire-protocol tests: framing edge cases and structured decode errors."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    ERR_INVALID_JSON,
+    ERR_INVALID_REQUEST,
+    ERR_UNKNOWN_KIND,
+    ERR_UNKNOWN_OP,
+    ERR_VERSION_MISMATCH,
+    OP_SCHEDULE,
+    OP_SIMULATE,
+    OP_STATS,
+    SERVER_ERROR_KIND,
+    SERVER_REQUEST_KIND,
+    SERVER_RESPONSE_KIND,
+    FrameDecoder,
+    OversizedFrame,
+    ProtocolError,
+    decode_answer_line,
+    decode_request_line,
+    encode_error,
+    encode_request,
+    encode_response,
+)
+
+
+class TestFrameDecoder:
+    def test_single_line(self):
+        assert FrameDecoder().feed(b"hello\n") == [b"hello"]
+
+    def test_multiple_lines_in_one_chunk(self):
+        assert FrameDecoder().feed(b"a\nb\nc\n") == [b"a", b"b", b"c"]
+
+    def test_line_split_across_feeds(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"par") == []
+        assert decoder.feed(b"tial\nrest\n") == [b"partial", b"rest"]
+
+    def test_empty_lines_are_frames(self):
+        assert FrameDecoder().feed(b"\n\n") == [b"", b""]
+
+    def test_trailing_partial_is_buffered(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"a\nb") == [b"a"]
+        assert decoder.feed(b"\n") == [b"b"]
+
+    def test_oversized_line_yields_marker(self):
+        decoder = FrameDecoder(max_line_bytes=8)
+        frames = decoder.feed(b"123456789\nok\n")
+        assert frames == [OversizedFrame(9), b"ok"]
+
+    def test_oversized_line_is_not_buffered(self):
+        decoder = FrameDecoder(max_line_bytes=8)
+        # Stream an oversized line in chunks: the decoder must track only the
+        # running length, never the content.
+        for _ in range(100):
+            assert decoder.feed(b"x" * 10) == []
+            assert len(decoder._buffer) <= 8 + 10
+        frames = decoder.feed(b"tail\nafter\n")
+        assert frames == [OversizedFrame(1004), b"after"]
+
+    def test_resynchronises_after_oversized_line(self):
+        decoder = FrameDecoder(max_line_bytes=4)
+        assert decoder.feed(b"toolong") == []
+        assert decoder.feed(b"er\nab\n") == [OversizedFrame(9), b"ab"]
+
+    def test_exact_limit_is_accepted(self):
+        decoder = FrameDecoder(max_line_bytes=4)
+        assert decoder.feed(b"abcd\n") == [b"abcd"]
+        assert decoder.feed(b"abcde\n") == [OversizedFrame(5)]
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_line_bytes=0)
+
+
+def _decode_err(line: bytes) -> ProtocolError:
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request_line(line)
+    return exc_info.value
+
+
+class TestDecodeRequestLine:
+    def test_wrapper_round_trip(self):
+        line = encode_request(OP_SCHEDULE, tag="t1", payload={"kind": "x"})
+        request = decode_request_line(line.rstrip(b"\n"))
+        assert request.op == OP_SCHEDULE
+        assert request.tag == "t1"
+        assert request.payload == {"kind": "x"}
+
+    def test_opless_ops_drop_payload(self):
+        line = encode_request(OP_STATS, tag="s", payload=None)
+        request = decode_request_line(line.rstrip(b"\n"))
+        assert request.op == OP_STATS
+        assert request.payload is None
+
+    def test_bare_schedule_request_implies_op_and_tag(self):
+        envelope = {
+            "kind": "repro/schedule-request",
+            "version": 1,
+            "data": {"id": "req-7", "spec": {"name": "static"}},
+        }
+        request = decode_request_line(json.dumps(envelope).encode())
+        assert request.op == OP_SCHEDULE
+        assert request.tag == "req-7"
+        assert request.payload == envelope
+
+    def test_bare_sim_request_implies_op(self):
+        envelope = {"kind": "repro/sim-request", "version": 1, "data": {"id": None}}
+        request = decode_request_line(json.dumps(envelope).encode())
+        assert request.op == OP_SIMULATE
+        assert request.tag is None
+
+    def test_truncated_json(self):
+        error = _decode_err(b'{"kind": "repro/server-request", "version')
+        assert error.code == ERR_INVALID_JSON
+
+    def test_non_object_json(self):
+        assert _decode_err(b"[1, 2, 3]").code == ERR_INVALID_JSON
+        assert _decode_err(b"42").code == ERR_INVALID_JSON
+
+    def test_invalid_utf8(self):
+        assert _decode_err(b"\xff\xfe{}").code == ERR_INVALID_JSON
+
+    def test_unknown_kind(self):
+        line = json.dumps({"kind": "repro/unknown", "version": 1, "data": {}}).encode()
+        assert _decode_err(line).code == ERR_UNKNOWN_KIND
+
+    def test_missing_kind(self):
+        assert _decode_err(b"{}").code == ERR_UNKNOWN_KIND
+
+    def test_unknown_op_carries_tag(self):
+        line = json.dumps(
+            {
+                "kind": SERVER_REQUEST_KIND,
+                "version": 1,
+                "data": {"op": "frobnicate", "tag": "t9"},
+            }
+        ).encode()
+        error = _decode_err(line)
+        assert error.code == ERR_UNKNOWN_OP
+        assert error.tag == "t9"
+
+    def test_newer_wrapper_version_rejected(self):
+        line = json.dumps(
+            {
+                "kind": SERVER_REQUEST_KIND,
+                "version": 99,
+                "data": {"op": OP_STATS, "tag": "v"},
+            }
+        ).encode()
+        error = _decode_err(line)
+        assert error.code == ERR_VERSION_MISMATCH
+        assert error.tag == "v"
+
+    def test_non_integer_version_rejected(self):
+        line = json.dumps(
+            {"kind": SERVER_REQUEST_KIND, "version": "2", "data": {"op": OP_STATS}}
+        ).encode()
+        assert _decode_err(line).code == ERR_VERSION_MISMATCH
+
+    def test_payload_op_requires_payload(self):
+        line = json.dumps(
+            {
+                "kind": SERVER_REQUEST_KIND,
+                "version": 1,
+                "data": {"op": OP_SCHEDULE, "tag": "p"},
+            }
+        ).encode()
+        error = _decode_err(line)
+        assert error.code == ERR_INVALID_REQUEST
+        assert error.tag == "p"
+
+    def test_non_string_tag_rejected(self):
+        line = json.dumps(
+            {
+                "kind": SERVER_REQUEST_KIND,
+                "version": 1,
+                "data": {"op": OP_STATS, "tag": 7},
+            }
+        ).encode()
+        assert _decode_err(line).code == ERR_INVALID_REQUEST
+
+    def test_non_object_data_rejected(self):
+        line = json.dumps(
+            {"kind": SERVER_REQUEST_KIND, "version": 1, "data": [1]}
+        ).encode()
+        assert _decode_err(line).code == ERR_INVALID_REQUEST
+
+
+class TestAnswerEncoding:
+    def test_response_round_trip(self):
+        line = encode_response(OP_SCHEDULE, "t1", {"result": 1})
+        envelope = decode_answer_line(line.rstrip(b"\n"))
+        assert envelope["kind"] == SERVER_RESPONSE_KIND
+        assert envelope["data"] == {"op": OP_SCHEDULE, "tag": "t1", "payload": {"result": 1}}
+
+    def test_error_round_trip_with_retry_hint(self):
+        line = encode_error("t2", "overloaded", "busy", retry_after_s=1.5)
+        envelope = decode_answer_line(line.rstrip(b"\n"))
+        assert envelope["kind"] == SERVER_ERROR_KIND
+        assert envelope["data"]["error"] == "overloaded"
+        assert envelope["data"]["retry_after_s"] == 1.5
+        assert envelope["data"]["tag"] == "t2"
+
+    def test_lines_are_single_lines(self):
+        for line in (
+            encode_request(OP_STATS, tag="a"),
+            encode_response(OP_STATS, "a", {}),
+            encode_error("a", "internal", "boom"),
+        ):
+            assert line.endswith(b"\n")
+            assert line.count(b"\n") == 1
+
+    def test_answer_rejects_request_kind(self):
+        line = encode_request(OP_STATS, tag="a")
+        with pytest.raises(ProtocolError):
+            decode_answer_line(line.rstrip(b"\n"))
+
+    def test_answer_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            decode_answer_line(b"nope")
+
+    def test_default_limit_fits_paper_scale_requests(self):
+        assert DEFAULT_MAX_LINE_BYTES >= 1 << 20

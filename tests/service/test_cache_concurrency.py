@@ -1,0 +1,153 @@
+"""Concurrency regression tests for the content-addressed caches.
+
+Satellite of the serving-daemon PR: one cache instance is now touched from
+the event-loop thread and executor callback threads at once, and two daemon
+or batch processes may share one cache directory.  These tests hammer both
+boundaries.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.runtime.service import SimulationCache
+from repro.service import ScheduleCache
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+KEY = "deadbeefdeadbeef"
+
+
+def result_for(value: int) -> dict:
+    return {"answer": value, "payload": list(range(50))}
+
+
+class TestThreadSafety:
+    def test_many_threads_one_key(self, tmp_path):
+        """Writers and readers hammering one key: no tears, no double stores."""
+        cache = ScheduleCache(tmp_path / "cache")
+        results = []
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(thread_index: int):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(50):
+                    cache.put(KEY, result_for(thread_index))
+                    entry = cache.get(KEY)
+                    assert entry is not None
+                    results.append(entry["answer"])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        # First put wins, every read afterwards sees that same entry.
+        assert len(set(results)) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 16 * 50
+
+    def test_distinct_keys_from_threads_all_land(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "cache")
+        barrier = threading.Barrier(8)
+
+        def worker(thread_index: int):
+            barrier.wait(timeout=30)
+            for item in range(20):
+                cache.put(f"key-{thread_index}-{item}", result_for(item))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(cache) == 8 * 20
+        assert cache.stats()["stores"] == 8 * 20
+        # Every entry is readable back from disk by a fresh instance.
+        reloaded = ScheduleCache(tmp_path / "cache")
+        assert reloaded.get("key-3-7") == result_for(7)
+
+    def test_vanished_directory_is_recreated_on_persist(self, tmp_path):
+        import shutil
+
+        directory = tmp_path / "cache"
+        cache = ScheduleCache(directory)
+        shutil.rmtree(directory)
+        cache.put(KEY, result_for(1))  # must not raise
+        assert (directory / f"{KEY}.json").exists()
+
+
+HAMMER_SNIPPET = """
+import json, sys
+from repro.service.cache import ScheduleCache
+
+directory, key, value, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+result = {"answer": value, "payload": list(range(50))}
+for _ in range(rounds):
+    cache = ScheduleCache(directory)  # fresh instance: always persists
+    cache._persist(key, result)
+    loaded = ScheduleCache(directory).get(key)
+    assert loaded is not None, "entry unreadable mid-race"
+    assert loaded["payload"] == list(range(50)), "torn entry: " + json.dumps(loaded)
+print("ok")
+"""
+
+
+class TestProcessSafety:
+    def test_two_processes_hammer_one_key(self, tmp_path):
+        """Two processes rewriting one key never tear the on-disk entry."""
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        processes = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    HAMMER_SNIPPET,
+                    str(directory),
+                    KEY,
+                    str(value),
+                    "40",
+                ],
+                env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for value in (1, 2)
+        ]
+        for process in processes:
+            stdout, stderr = process.communicate(timeout=120)
+            assert process.returncode == 0, stderr
+            assert stdout.strip() == "ok"
+        # Whatever the interleaving, the surviving file is a complete entry
+        # holding one of the two values.
+        final = ScheduleCache(directory).get(KEY)
+        assert final is not None
+        assert final["answer"] in (1, 2)
+        assert final["payload"] == list(range(50))
+
+
+class TestSimulationCacheInheritsSafety:
+    def test_sim_cache_counters_and_kind_isolation(self, tmp_path):
+        directory = tmp_path / "cache"
+        sim_cache = SimulationCache(directory)
+        sim_cache.put(KEY, result_for(9))
+        assert sim_cache.stats()["stores"] == 1
+        # A schedule cache pointed at the same directory must not misread
+        # the sim entry as its own (different payload kind => miss).
+        schedule_cache = ScheduleCache(directory)
+        assert schedule_cache.get(KEY) is None
+        payload = json.loads((directory / f"{KEY}.json").read_text())
+        assert payload["kind"] == "repro/sim-cache-entry"
