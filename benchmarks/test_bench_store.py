@@ -1,0 +1,78 @@
+"""Benchmarks of the cache storage backends (``repro.store``).
+
+The backend choice trades single-entry latency against scan behaviour at
+scale: the directory backend pays a file create per put and a directory walk
+per scan; SQLite pays statement overhead per put but answers scans and
+counts from one query.  Three numbers per backend track the trade in
+``BENCH_results.json``:
+
+* **put latency** — persisting one versioned payload envelope;
+* **get latency** — reading one entry back (warm OS caches);
+* **10k-entry scan** — ``keys()`` + ``stats()`` over a populated store, the
+  access pattern of ``python -m repro.store stats`` and of prune scans.
+"""
+
+import pytest
+
+from repro.store import DirectoryBackend, SqliteBackend
+
+SCAN_ENTRIES = 10_000
+
+
+def payload_for(index: int) -> dict:
+    return {
+        "kind": "repro/schedule-cache-entry",
+        "version": 1,
+        "data": {"key": f"{index:016x}", "result": {"psi": 0.5, "jobs": list(range(40))}},
+    }
+
+
+def make_backend(kind, root):
+    if kind == "directory":
+        return DirectoryBackend(root / "store")
+    return SqliteBackend(root / "store.db")
+
+
+@pytest.mark.benchmark(group="store-put")
+@pytest.mark.parametrize("kind", ["directory", "sqlite"])
+def test_put_latency(benchmark, kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    counter = iter(range(10_000_000))
+
+    def put_one():
+        index = next(counter)
+        backend.put(f"{index:016x}", payload_for(index))
+
+    benchmark(put_one)
+    backend.close()
+    print(f"\n{kind} put: {benchmark.stats.stats.median * 1e6:.0f} us")
+
+
+@pytest.mark.benchmark(group="store-get")
+@pytest.mark.parametrize("kind", ["directory", "sqlite"])
+def test_get_latency(benchmark, kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    backend.put("aa" * 8, payload_for(0))
+
+    entry = benchmark(backend.get, "aa" * 8)
+    assert entry is not None
+    backend.close()
+    print(f"\n{kind} get: {benchmark.stats.stats.median * 1e6:.0f} us")
+
+
+@pytest.mark.benchmark(group="store-scan")
+@pytest.mark.parametrize("kind", ["directory", "sqlite"])
+def test_scan_10k_entries(benchmark, kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    for index in range(SCAN_ENTRIES):
+        backend.put(f"{index:016x}", payload_for(index))
+
+    def scan():
+        keys = backend.keys()
+        stats = backend.stats()
+        return len(keys), stats["entries"]
+
+    n_keys, n_entries = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert n_keys == n_entries == SCAN_ENTRIES
+    backend.close()
+    print(f"\n{kind} scan of {SCAN_ENTRIES}: {benchmark.stats.stats.median * 1e3:.1f} ms")

@@ -17,7 +17,13 @@ One declarative description in, one queryable aggregated report out — and
 both ends are content-addressed, so results are bit-identical at any worker
 count and a resumed campaign never mixes with a different grid.
 
-CLI: ``python -m repro.campaign`` (``run``, ``report``, ``--list``).
+Campaigns also scale *out*: ``CampaignRunner(..., shard=(i, n))`` runs the
+``i``-th of ``n`` disjoint content-key ranges of the grid (per-shard
+journals, merged byte-identically into ``campaign.jsonl`` once every shard
+finishes), and ``cache_backend="sqlite:path=..."`` gives the shard workers
+one shared crash-safe cache file (see :mod:`repro.store`).
+
+CLI: ``python -m repro.campaign`` (``run``, ``merge``, ``report``, ``--list``).
 """
 
 from repro.campaign.report import (
@@ -34,14 +40,22 @@ from repro.campaign.runner import (
     CampaignRunner,
     cell_request,
     cell_scenario,
+    cell_shard,
     cell_values,
+    find_shard_journals,
     load_campaign_records,
+    maybe_merge_shard_journals,
+    merge_shard_journals,
+    parse_shard,
     read_campaign_journal,
     read_campaign_journal_full,
     replication_seed,
     run_campaign,
     runtime_cell_request,
+    runtime_cell_shard,
     runtime_cell_values,
+    shard_journal_filename,
+    shard_of_key,
 )
 from repro.campaign.spec import (
     CAMPAIGN_KIND,
@@ -89,9 +103,17 @@ __all__ = [
     "read_campaign_journal_full",
     "cell_request",
     "cell_scenario",
+    "cell_shard",
     "cell_values",
+    "find_shard_journals",
+    "maybe_merge_shard_journals",
+    "merge_shard_journals",
+    "parse_shard",
     "replication_seed",
     "runtime_cell_request",
+    "runtime_cell_shard",
     "runtime_cell_values",
     "runtime_label",
+    "shard_journal_filename",
+    "shard_of_key",
 ]

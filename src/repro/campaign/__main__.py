@@ -9,7 +9,15 @@ keyed by the spec's content hash, holding ``campaign.json`` + the
     or is built right on the command line from ``--scenarios``/``--methods``
     style flags.  ``--resume`` continues an interrupted campaign with zero
     recomputation; ``--workers`` fans the cells out over a process pool
-    without changing a single output byte.
+    without changing a single output byte.  ``--shard I/N`` runs only the
+    ``I``-th of ``N`` disjoint content-key ranges of the grid — launch N
+    such processes (same spec, same ``--artifact-dir``) and the last one to
+    finish merges the per-shard journals into the canonical
+    ``campaign.jsonl``, byte-identical to a single-process run.
+``merge``
+    Reassemble ``campaign.jsonl`` from complete shard journals by hand —
+    what the auto-merge does, for when the shards ran on different machines
+    and their journals were copied together afterwards.
 ``report``
     Aggregate a campaign's journal into a :class:`CampaignReport` and emit
     it as an aligned text table, Markdown leaderboards, or versioned JSON.
@@ -23,6 +31,13 @@ Examples::
 
     # Interrupted?  Resume recomputes nothing:
     python -m repro.campaign run --name demo ... --artifact-dir campaigns/ --resume
+
+    # The same campaign split over two concurrent workers sharing one
+    # SQLite cache; whichever finishes last merges the shard journals
+    python -m repro.campaign run --name demo ... --artifact-dir campaigns/ \\
+        --cache-backend sqlite:path=cache.db --shard 1/2 &
+    python -m repro.campaign run --name demo ... --artifact-dir campaigns/ \\
+        --cache-backend sqlite:path=cache.db --shard 2/2
 
     # Aggregate and emit the Markdown leaderboard
     python -m repro.campaign report --artifact-dir campaigns/ --format md
@@ -43,6 +58,8 @@ from repro.campaign.runner import (
     CAMPAIGN_SPEC_FILENAME,
     CampaignRunner,
     load_campaign_records,
+    merge_shard_journals,
+    parse_shard,
 )
 from repro.campaign.spec import (
     CAMPAIGN_METRICS,
@@ -190,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
         "service consumers (omit to cache in memory for this run only)",
     )
     run.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="storage backend for the persistent caches, as a 'name:key=value' "
+        "spec string — e.g. 'sqlite:path=cache.db' holds the schedule and "
+        "simulation caches in one file, safe to share between concurrent "
+        "shard workers (see `python -m repro.store --list-backends`).  "
+        "Conflicts with --cache-dir",
+    )
+    run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only the I-th of N disjoint content-key shards of the grid "
+        "(1-based), journalling to campaign.shard-I-of-N.jsonl; requires "
+        "--artifact-dir.  When the last shard finishes, the journals are "
+        "merged into the canonical campaign.jsonl automatically",
+    )
+    run.add_argument(
         "--server",
         default=None,
         metavar="HOST:PORT",
@@ -225,6 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the report to FILE instead of stdout",
+    )
+
+    merge = commands.add_parser(
+        "merge",
+        help="merge complete shard journals into the canonical campaign.jsonl "
+        "(what the last finishing shard does automatically)",
+    )
+    merge.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec (JSON file or inline JSON); omit to auto-discover "
+        "the campaign under --artifact-dir (or select one with --key)",
+    )
+    merge.add_argument(
+        "--artifact-dir",
+        required=True,
+        metavar="DIR",
+        help="root directory the campaign shards were run with",
+    )
+    merge.add_argument(
+        "--key",
+        default=None,
+        metavar="CONTENT_KEY",
+        help="content key of the campaign to merge (as printed by run)",
     )
 
     report = commands.add_parser(
@@ -338,6 +399,16 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error("--resume requires --artifact-dir")
     if args.max_cells is not None and args.max_cells < 1:
         parser.error(f"--max-cells must be >= 1, got {args.max_cells}")
+    if args.cache_dir is not None and args.cache_backend is not None:
+        parser.error("pass either --cache-dir or --cache-backend, not both")
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            parser.error(f"--shard: {error}")
+        if args.artifact_dir is None:
+            parser.error("--shard requires --artifact-dir (the merge point)")
     try:
         spec = resolve_run_spec(parser, args)
     except (ValueError, KeyError) as error:
@@ -349,6 +420,10 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             parser.error("--workers is the daemon's setting; drop it with --server")
         if args.cache_dir is not None:
             parser.error("--cache-dir is the daemon's setting; drop it with --server")
+        if args.cache_backend is not None:
+            parser.error(
+                "--cache-backend is the daemon's setting; drop it with --server"
+            )
         from repro.server import (
             RemoteSchedulingService,
             RemoteSimulationService,
@@ -372,6 +447,8 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             artifact_dir=args.artifact_dir,
             n_workers=args.workers,
             cache_dir=args.cache_dir,
+            cache_backend=args.cache_backend,
+            shard=shard,
             service=service,
             simulation=simulation,
         ) as runner:
@@ -388,15 +465,18 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         if service is not None:
             service.close()
 
-    done = f"{len(result.records)}/{spec.n_cells} cells done"
+    n_cells = result.expected_cells if shard is not None else spec.n_cells
+    n_runtime = (
+        result.expected_runtime_cells if shard is not None else spec.n_runtime_cells
+    )
+    done = f"{len(result.records)}/{n_cells} cells done"
     if spec.runtime is not None:
-        done += (
-            f", {len(result.runtime_records)}/{spec.n_runtime_cells} "
-            "runtime cells done"
-        )
+        done += f", {len(result.runtime_records)}/{n_runtime} runtime cells done"
+    label = f"campaign {spec.name!r} ({spec.content_key()})"
+    if shard is not None:
+        label += f" shard {shard[0]}/{shard[1]}"
     print(
-        f"campaign {spec.name!r} ({spec.content_key()}): "
-        f"{result.evaluated} evaluated, {result.resumed} resumed, {done}",
+        f"{label}: {result.evaluated} evaluated, {result.resumed} resumed, {done}",
         file=sys.stderr,
     )
     if not result.complete:
@@ -404,8 +484,47 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             "campaign incomplete; re-run with --resume to finish it",
             file=sys.stderr,
         )
-    if args.report_format != "none":
+    if args.report_format == "none":
+        return 0
+    if shard is None:
         emit(render_report(result.report(), args.report_format), args.output)
+    elif result.merged_journal is not None:
+        # All shards done: report the full merged campaign, not our slice.
+        print(f"merged shard journals into {result.merged_journal}", file=sys.stderr)
+        records, runtime_records = load_campaign_records(args.artifact_dir, spec)
+        report = CampaignReport.from_records(
+            spec, records, runtime_records=runtime_records
+        )
+        emit(render_report(report, args.report_format), args.output)
+    else:
+        print(
+            "other shards still pending; once they finish, the journals merge "
+            "automatically (or run `python -m repro.campaign merge`)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_merge(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    try:
+        if args.spec is not None:
+            spec = load_campaign(args.spec)
+        else:
+            spec = discover_campaign_spec(parser, args.artifact_dir, args.key)
+    except (ValueError, KeyError) as error:
+        parser.error(f"invalid campaign spec: {error}")
+
+    directory = Path(args.artifact_dir) / spec.content_key()
+    try:
+        target = merge_shard_journals(directory, spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"merged shard journals of campaign {spec.name!r} "
+        f"({spec.content_key()}) into {target}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -451,9 +570,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "run":
         return cmd_run(parser, args)
+    if args.command == "merge":
+        return cmd_merge(parser, args)
     if args.command == "report":
         return cmd_report(parser, args)
-    parser.error("a subcommand is required (run, report) — or --list")
+    parser.error("a subcommand is required (run, merge, report) — or --list")
     return 2  # pragma: no cover — parser.error raises
 
 

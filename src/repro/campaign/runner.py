@@ -18,12 +18,29 @@ deterministic system (:func:`repro.scenario.materialize`); the service's
 content-derived seeds); replications of stochastic methods decorrelate
 through a seed derived from the cell's own coordinates.  Nothing anywhere
 depends on wall clock, process identity or worker count.
+
+**Sharding** stretches the same guarantees across processes and machines:
+``CampaignRunner(..., shard=(i, n))`` claims the cells whose *content keys*
+fall into the ``i``-th of ``n`` contiguous keyspace ranges
+(:func:`shard_of_key` — disjoint and complete by construction, and stable
+under grid growth within a range) and journals them to its own
+``campaign.shard-i-of-n.jsonl``.  Each run-time cell rides with its schedule
+cell's key, so every shard worker simulates against schedules it computed
+itself.  Once every shard journal is complete,
+:func:`merge_shard_journals` (invoked automatically by the shard that
+finishes last, or explicitly via ``python -m repro.campaign merge``)
+reassembles the canonical ``campaign.jsonl`` — byte-identical to a
+single-process run, so resume and reports behave exactly as if the campaign
+had never been split.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
+import re
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -39,6 +56,9 @@ from repro.service.service import DERIVED_SEED_METHODS
 
 CAMPAIGN_JOURNAL_FILENAME = "campaign.jsonl"
 CAMPAIGN_SPEC_FILENAME = "campaign.json"
+
+#: Per-shard journal filenames: ``campaign.shard-3-of-8.jsonl``.
+SHARD_JOURNAL_RE = re.compile(r"^campaign\.shard-(\d+)-of-(\d+)\.jsonl$")
 
 #: Journal/lookup key of one cell; mirrors :meth:`CampaignCell.key`.
 CellKey = Tuple[str, str, Optional[float], int, int]
@@ -182,6 +202,86 @@ def cell_values(
     return values
 
 
+# -- sharding (pure functions) --------------------------------------------------
+
+
+def shard_of_key(content_key: str, n_shards: int) -> int:
+    """The 0-based shard owning ``content_key``, out of ``n_shards``.
+
+    The 64-bit keyspace is split into ``n_shards`` contiguous ranges (the
+    classic range partition), so the shards are disjoint and complete for any
+    key and any ``n_shards`` *by construction*, with no coordination and no
+    shared state.  Content keys are uniformly distributed (they are hashes),
+    so the ranges are balanced in expectation.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    prefix = content_key[:16]
+    if len(prefix) < 16 or any(c not in "0123456789abcdef" for c in prefix):
+        raise ValueError(f"invalid content key {content_key!r}")
+    return (int(prefix, 16) * n_shards) >> 64
+
+
+def cell_shard(spec: CampaignSpec, cell: CampaignCell, n_shards: int) -> int:
+    """The 0-based shard owning one schedule cell (by its request content key)."""
+    return shard_of_key(cell_request(spec, cell).content_key(), n_shards)
+
+
+def runtime_cell_shard(spec: CampaignSpec, cell: RuntimeCell, n_shards: int) -> int:
+    """The 0-based shard owning one run-time cell.
+
+    Run-time cells are sharded by their *schedule* cell's content key, so a
+    shard worker always simulates against schedules it computed itself (its
+    schedule cache is warm) — and every execution model of one schedule cell
+    stays on one worker.
+    """
+    return cell_shard(spec, cell.schedule_cell(), n_shards)
+
+
+def shard_journal_filename(shard_index: int, n_shards: int) -> str:
+    """Journal filename of shard ``shard_index`` (1-based) of ``n_shards``."""
+    return f"campaign.shard-{shard_index}-of-{n_shards}.jsonl"
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``I/N`` shard designator into ``(index, total)`` (1-based)."""
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise ValueError(f"shard must look like I/N (e.g. 2/4), got {text!r}")
+    index, total = int(match.group(1)), int(match.group(2))
+    if total < 1 or not 1 <= index <= total:
+        raise ValueError(f"shard index must satisfy 1 <= I <= N, got {text!r}")
+    return index, total
+
+
+# -- journal entry construction (shared by the runner and the merge) ------------
+
+
+def _schedule_entry_dict(cell: CampaignCell, values: CellValues) -> Dict:
+    return {
+        "sc": cell.scenario,
+        "m": cell.method,
+        "u": cell.utilisation,
+        "i": cell.system_index,
+        "r": cell.replication,
+        "v": values,
+    }
+
+
+def _runtime_entry_dict(cell: RuntimeCell, values: CellValues) -> Dict:
+    # Run-time cells share the journal; the "x" (execution model) field
+    # tells the two record shapes apart on load.
+    return {
+        "sc": cell.scenario,
+        "m": cell.method,
+        "x": cell.execution_model,
+        "u": cell.utilisation,
+        "i": cell.system_index,
+        "r": cell.replication,
+        "v": values,
+    }
+
+
 # -- the runner ----------------------------------------------------------------
 
 
@@ -199,12 +299,27 @@ class CampaignResult:
     #: Every completed run-time cell, by run-time cell key (empty without a
     #: ``runtime`` section).  ``evaluated``/``resumed`` count these too.
     runtime_records: Dict[RuntimeCellKey, CellValues] = field(default_factory=dict)
+    #: Cells this run was responsible for — the full grid, or (sharded) the
+    #: shard's share of it.  ``None`` means the full grid.
+    expected_cells: Optional[int] = None
+    expected_runtime_cells: Optional[int] = None
+    #: Path of the canonical merged journal, when a sharded run found every
+    #: shard complete and (re)assembled ``campaign.jsonl``.
+    merged_journal: Optional[Path] = None
 
     @property
     def complete(self) -> bool:
+        expected = (
+            self.expected_cells if self.expected_cells is not None else self.spec.n_cells
+        )
+        expected_runtime = (
+            self.expected_runtime_cells
+            if self.expected_runtime_cells is not None
+            else self.spec.n_runtime_cells
+        )
         return (
-            len(self.records) == self.spec.n_cells
-            and len(self.runtime_records) == self.spec.n_runtime_cells
+            len(self.records) == expected
+            and len(self.runtime_records) == expected_runtime
         )
 
     def report(self) -> CampaignReport:
@@ -241,6 +356,21 @@ class CampaignRunner:
         Optional persistent schedule-cache directory for the service; safe to
         share between concurrent campaign processes (entries are written
         atomically).
+    cache_backend:
+        Storage-backend spec string (see :mod:`repro.store`) for the
+        persistent caches instead of ``cache_dir`` — e.g.
+        ``sqlite:path=cache.db`` keeps the schedule *and* simulation caches
+        of the campaign in one SQLite file, safe for N concurrent shard
+        workers.  Conflicts with ``cache_dir``.
+    shard:
+        ``(index, total)`` with ``1 <= index <= total``: run only the cells
+        whose content keys fall into this shard's keyspace range (see
+        :func:`shard_of_key`), journalling to
+        ``campaign.shard-index-of-total.jsonl``.  N workers given shards
+        ``(1, N) .. (N, N)`` over the same ``artifact_dir`` cover the grid
+        disjointly and completely; when the last one finishes, the shard
+        journals are merged into the canonical ``campaign.jsonl``
+        automatically.  Requires ``artifact_dir``.
     service:
         An existing service to schedule through (its worker pool and cache
         are reused; ``n_workers``/``cache_dir`` are then ignored).  The
@@ -263,16 +393,31 @@ class CampaignRunner:
         artifact_dir: Optional[Union[str, Path]] = None,
         n_workers: int = 1,
         cache_dir: Optional[str] = None,
+        cache_backend: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
         service: Optional[SchedulingService] = None,
         simulation: Optional[SimulationService] = None,
     ):
+        if cache_dir is not None and cache_backend is not None:
+            raise ValueError("pass either cache_dir or cache_backend, not both")
+        if shard is not None:
+            index, total = shard
+            if total < 1 or not 1 <= index <= total:
+                raise ValueError(
+                    f"shard must satisfy 1 <= index <= total, got {shard!r}"
+                )
+            if artifact_dir is None:
+                raise ValueError("sharded runs need an artifact_dir to merge from")
         self.spec = spec
+        self.shard = shard
         self.n_workers = n_workers if service is None else service.n_workers
         if service is not None:
             self.service = service
             self._owns_service = False
         else:
-            self.service = SchedulingService(n_workers=n_workers, cache_dir=cache_dir)
+            self.service = SchedulingService(
+                n_workers=n_workers, cache_dir=cache_dir, cache_backend=cache_backend
+            )
             self._owns_service = True
 
         # The simulation side (present only when the spec has a runtime
@@ -282,11 +427,18 @@ class CampaignRunner:
         self._owns_simulation = simulation is None
         if simulation is None and spec.runtime is not None:
             self.simulation = SimulationService(
-                n_workers=self.n_workers, scheduling=self.service
+                n_workers=self.n_workers,
+                cache_backend=cache_backend,
+                scheduling=self.service,
             )
 
         self.directory: Optional[Path] = None
         self._journal: Optional[io.TextIOWrapper] = None
+        self._journal_filename = (
+            shard_journal_filename(*shard)
+            if shard is not None
+            else CAMPAIGN_JOURNAL_FILENAME
+        )
         self._records: Dict[CellKey, CellValues] = {}
         self._runtime_records: Dict[RuntimeCellKey, CellValues] = {}
         if artifact_dir is not None:
@@ -337,6 +489,21 @@ class CampaignRunner:
         """
         cells = list(self.spec.cells())
         runtime_cells = list(self.spec.runtime_cells())
+        if self.shard is not None:
+            # The shard's cells, still in canonical grid order (a subsequence
+            # of it) — which is what makes the merged journal byte-identical
+            # to a single-process run.
+            index, n_shards = self.shard
+            cells = [
+                cell
+                for cell in cells
+                if cell_shard(self.spec, cell, n_shards) == index - 1
+            ]
+            runtime_cells = [
+                cell
+                for cell in runtime_cells
+                if runtime_cell_shard(self.spec, cell, n_shards) == index - 1
+            ]
         total = len(cells) + len(runtime_cells)
         resumed = sum(1 for cell in cells if cell.key() in self._records) + sum(
             1 for cell in runtime_cells if cell.key() in self._runtime_records
@@ -402,13 +569,29 @@ class CampaignRunner:
             for cell in runtime_cells
             if cell.key() in self._runtime_records
         }
-        return CampaignResult(
+        result = CampaignResult(
             spec=self.spec,
             records=records,
             evaluated=evaluated,
             resumed=resumed,
             runtime_records=runtime_records,
+            expected_cells=len(cells) if self.shard is not None else None,
+            expected_runtime_cells=(
+                len(runtime_cells) if self.shard is not None else None
+            ),
         )
+        if self.shard is not None and result.complete:
+            # Flush our shard journal, then merge if every shard is done.
+            # Each finishing shard attempts this; the last one succeeds, and
+            # concurrent attempts are harmless (identical bytes, atomic
+            # replace).
+            if self._journal is not None:
+                self._journal.flush()
+            assert self.directory is not None
+            result.merged_journal = maybe_merge_shard_journals(
+                self.directory, self.spec
+            )
+        return result
 
     # -- the journal -------------------------------------------------------------
 
@@ -417,49 +600,28 @@ class CampaignRunner:
         if key in self._records:
             return
         self._records[key] = values
-        self._journal_line(
-            {
-                "sc": cell.scenario,
-                "m": cell.method,
-                "u": cell.utilisation,
-                "i": cell.system_index,
-                "r": cell.replication,
-                "v": values,
-            }
-        )
+        self._journal_line(_schedule_entry_dict(cell, values))
 
     def _record_runtime(self, cell: RuntimeCell, values: CellValues) -> None:
         key = cell.key()
         if key in self._runtime_records:
             return
         self._runtime_records[key] = values
-        # Run-time cells share the journal; the "x" (execution model) field
-        # tells the two record shapes apart on load.
-        self._journal_line(
-            {
-                "sc": cell.scenario,
-                "m": cell.method,
-                "x": cell.execution_model,
-                "u": cell.utilisation,
-                "i": cell.system_index,
-                "r": cell.replication,
-                "v": values,
-            }
-        )
+        self._journal_line(_runtime_entry_dict(cell, values))
 
     def _journal_line(self, entry: Dict) -> None:
         if self.directory is None:
             return
         if self._journal is None:
             self._journal = open(
-                self.directory / CAMPAIGN_JOURNAL_FILENAME, "a", encoding="utf-8"
+                self.directory / self._journal_filename, "a", encoding="utf-8"
             )
         self._journal.write(canonical_json(entry) + "\n")
         self._journal.flush()
 
     def _load_journal(self) -> None:
         assert self.directory is not None
-        path = self.directory / CAMPAIGN_JOURNAL_FILENAME
+        path = self.directory / self._journal_filename
         if not path.exists():
             return
         # A write cut short by an interrupt leaves a torn trailing line with
@@ -491,6 +653,8 @@ def run_campaign(
     artifact_dir: Optional[Union[str, Path]] = None,
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    cache_backend: Optional[str] = None,
+    shard: Optional[Tuple[int, int]] = None,
     service: Optional[SchedulingService] = None,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[_Progress], None]] = None,
@@ -501,6 +665,8 @@ def run_campaign(
         artifact_dir=artifact_dir,
         n_workers=n_workers,
         cache_dir=cache_dir,
+        cache_backend=cache_backend,
+        shard=shard,
         service=service,
     ) as runner:
         return runner.run(max_cells=max_cells, progress=progress)
@@ -576,3 +742,119 @@ def load_campaign_records(
     return read_campaign_journal_full(
         Path(artifact_dir) / spec.content_key() / CAMPAIGN_JOURNAL_FILENAME
     )
+
+
+# -- shard journal merge --------------------------------------------------------
+
+
+def find_shard_journals(directory: Union[str, Path]) -> Tuple[int, Dict[int, Path]]:
+    """The shard journals present in one campaign directory.
+
+    Returns ``(n_shards, {shard_index: path})`` with 1-based indices, or
+    ``(0, {})`` when no shard journals exist.  Mixing journals from different
+    shard totals (say a 2-way and a 4-way split of the same campaign) is a
+    :class:`ValueError` — their keyspace ranges overlap, so merging them
+    could double-count or miss cells.
+    """
+    directory = Path(directory)
+    journals: Dict[int, Path] = {}
+    totals = set()
+    for path in sorted(directory.glob("campaign.shard-*.jsonl")):
+        match = SHARD_JOURNAL_RE.match(path.name)
+        if not match:
+            continue
+        index, total = int(match.group(1)), int(match.group(2))
+        if total < 1 or not 1 <= index <= total:
+            raise ValueError(f"nonsensical shard journal name {path.name!r}")
+        totals.add(total)
+        journals[index] = path
+    if len(totals) > 1:
+        raise ValueError(
+            f"mixed shard totals in {directory}: "
+            + ", ".join(sorted(path.name for path in journals.values()))
+        )
+    return (totals.pop() if totals else 0), journals
+
+
+def merge_shard_journals(
+    directory: Union[str, Path],
+    spec: CampaignSpec,
+    *,
+    require_complete: bool = True,
+) -> Path:
+    """Reassemble the canonical ``campaign.jsonl`` from shard journals.
+
+    Reads every ``campaign.shard-*.jsonl`` in ``directory`` and rewrites
+    the union of their cells in canonical grid order — schedule cells
+    first, then run-time cells — through the same entry builders and
+    ``canonical_json`` encoding the runner itself uses.  The merged journal
+    is therefore **byte-identical** to the one a single-process run of the
+    same spec would have written.  The write is atomic (tempfile +
+    ``os.replace``), and because every complete merge produces identical
+    bytes, concurrent merge attempts by simultaneously-finishing shards are
+    race-free.
+
+    With ``require_complete`` (the default) a merge that would drop cells —
+    missing shards, or shards that were interrupted mid-run — raises
+    :class:`ValueError` instead of writing a partial canonical journal.
+    """
+    directory = Path(directory)
+    n_shards, journals = find_shard_journals(directory)
+    if not journals:
+        raise ValueError(f"no shard journals found in {directory}")
+    records: Dict[CellKey, CellValues] = {}
+    runtime_records: Dict[RuntimeCellKey, CellValues] = {}
+    for path in journals.values():
+        shard_records, shard_runtime_records = read_campaign_journal_full(path)
+        records.update(shard_records)
+        runtime_records.update(shard_runtime_records)
+    missing = sum(1 for cell in spec.cells() if cell.key() not in records) + sum(
+        1 for cell in spec.runtime_cells() if cell.key() not in runtime_records
+    )
+    if missing and require_complete:
+        raise ValueError(
+            f"cannot merge: {missing} cell(s) missing from the shard journals "
+            f"(have shard(s) {sorted(journals)} of {n_shards})"
+        )
+    target = directory / CAMPAIGN_JOURNAL_FILENAME
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=CAMPAIGN_JOURNAL_FILENAME + ".", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for cell in spec.cells():
+                values = records.get(cell.key())
+                if values is not None:
+                    handle.write(
+                        canonical_json(_schedule_entry_dict(cell, values)) + "\n"
+                    )
+            for runtime_cell in spec.runtime_cells():
+                values = runtime_records.get(runtime_cell.key())
+                if values is not None:
+                    handle.write(
+                        canonical_json(_runtime_entry_dict(runtime_cell, values))
+                        + "\n"
+                    )
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def maybe_merge_shard_journals(
+    directory: Union[str, Path], spec: CampaignSpec
+) -> Optional[Path]:
+    """Merge the shard journals if their union covers the full grid.
+
+    Returns the canonical journal's path, or ``None`` while shards are still
+    missing or incomplete.  This is what a finishing shard worker calls: every
+    worker tries, only the last one (or several at once, harmlessly) succeeds.
+    """
+    try:
+        return merge_shard_journals(directory, spec)
+    except ValueError:
+        return None

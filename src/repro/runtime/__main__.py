@@ -152,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit to cache in memory for this batch only)",
     )
     parser.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="storage backend for both persistent caches, as a "
+        "'name:key=value' spec string — e.g. 'sqlite:path=cache.db' (one "
+        "file holds both caches) or 'directory:root=DIR' (equivalent to "
+        "--cache-dir DIR).  Conflicts with --cache-dir; see "
+        "`python -m repro.store --list-backends`",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -241,17 +251,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.input, "r", encoding="utf-8") as handle:
             requests = read_requests(handle, source=args.input)
 
+    if args.cache_dir is not None and args.cache_backend is not None:
+        parser.error("pass either --cache-dir or --cache-backend, not both")
     cache_dir = schedule_cache_dir = None
     if args.cache_dir is not None:
         root = Path(args.cache_dir)
         cache_dir = str(root / SIM_CACHE_SUBDIR)
         schedule_cache_dir = str(root / SCHEDULE_CACHE_SUBDIR)
 
-    with SimulationService(
-        n_workers=args.workers,
-        cache_dir=cache_dir,
-        schedule_cache_dir=schedule_cache_dir,
-    ) as service:
+    try:
+        service = SimulationService(
+            n_workers=args.workers,
+            cache_dir=cache_dir,
+            cache_backend=args.cache_backend,
+            schedule_cache_dir=schedule_cache_dir,
+        )
+    except ValueError as error:
+        parser.error(f"--cache-backend: {error}")
+    with service:
         responses = service.submit_batch(requests)
         stats = service.stats()
         scheduling_stats = service.scheduling.stats()

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.serialization import content_hash
 from repro.hardware.faults import FaultInjector
@@ -38,15 +38,20 @@ from repro.scenario import build_platform, materialize
 from repro.service.cache import ScheduleCache
 from repro.service.messages import CACHE_DISABLED, CACHE_HIT, CACHE_MISS, ScheduleResponse
 from repro.service.service import SchedulingService, execute_request
+from repro.store.backends import SCHEDULE_CACHE_SUBDIR as _SCHEDULE_CACHE_SUBDIR
+from repro.store.backends import SIM_CACHE_SUBDIR as _SIM_CACHE_SUBDIR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import CacheBackend
 
 SIM_CACHE_ENTRY_KIND = "repro/sim-cache-entry"
 SIM_CACHE_ENTRY_VERSION = 1
 
-#: Subdirectories of a shared ``--cache-dir`` holding the two
-#: content-addressed caches (the batch CLIs and the serving daemon agree on
-#: this layout, so they warm each other through the same directory).
-SIM_CACHE_SUBDIR = "sim-responses"
-SCHEDULE_CACHE_SUBDIR = "schedules"
+# The shared two-namespace cache layout now lives with the storage backends
+# (:mod:`repro.store`); re-exported here because the batch CLIs and daemon
+# historically imported it from this module.
+SIM_CACHE_SUBDIR = _SIM_CACHE_SUBDIR
+SCHEDULE_CACHE_SUBDIR = _SCHEDULE_CACHE_SUBDIR
 
 
 class SimulationCache(ScheduleCache):
@@ -54,12 +59,15 @@ class SimulationCache(ScheduleCache):
 
     The same machinery as the schedule cache, under its own payload kind, so
     a simulation entry can never be misread as a schedule entry (or vice
-    versa) even when cache directories are mixed up.
+    versa) even when the two caches share a directory — or one SQLite file.
     """
 
-    def __init__(self, directory=None):
+    def __init__(self, directory=None, *, backend=None):
         super().__init__(
-            directory, kind=SIM_CACHE_ENTRY_KIND, version=SIM_CACHE_ENTRY_VERSION
+            directory,
+            backend=backend,
+            kind=SIM_CACHE_ENTRY_KIND,
+            version=SIM_CACHE_ENTRY_VERSION,
         )
 
 
@@ -203,19 +211,27 @@ def execute_simulation_job(
 
     A schedule already cached in the dispatching service travels along as its
     deterministic ``result_dict`` (no recomputation at all); otherwise each
-    call opens its own (serial) scheduling service against the shared on-disk
-    schedule cache, so pool workers reuse schedules computed by anyone — the
-    cache is written atomically, safe for concurrent writers.
+    call re-opens the dispatching service's persistent schedule cache from
+    its backend spec string (see :meth:`ScheduleCache.backend_spec
+    <repro.service.cache.ScheduleCache.backend_spec>`), so pool workers reuse
+    schedules computed by anyone — every backend writes atomically and is
+    safe for concurrent writers.
     """
-    request, schedule_cache_dir, cached_schedule = args
+    request, schedule_backend_spec, cached_schedule = args
     if cached_schedule is not None:
         return execute_simulation(
             request, schedule_response=ScheduleResponse.from_result_dict(cached_schedule)
         )
-    if schedule_cache_dir is None:
+    if schedule_backend_spec is None:
         return execute_simulation(request)
-    with SchedulingService(cache_dir=schedule_cache_dir) as scheduling:
-        return execute_simulation(request, scheduling=scheduling)
+    from repro.store import create_backend
+
+    cache = ScheduleCache(backend=create_backend(schedule_backend_spec))
+    try:
+        with SchedulingService(cache=cache) as scheduling:
+            return execute_simulation(request, scheduling=scheduling)
+    finally:
+        cache.close()
 
 
 _CACHE_DEFAULT = object()
@@ -233,18 +249,28 @@ class SimulationService:
     cache_dir:
         Directory for the persistent simulation-response cache; ``None``
         keeps the cache in memory only.
+    cache_backend:
+        Storage-backend spec string (see :mod:`repro.store`) or live
+        :class:`~repro.store.CacheBackend` for the simulation-response
+        cache; directory specs persist under ``root/sim-responses``.  When
+        no ``scheduling`` service is given, the owned one opens the same
+        spec too (its directory form lands under ``root/schedules``; a
+        single-file backend like SQLite holds both caches in one store,
+        separated by payload kind).  Backends opened from a string are
+        owned (closed with the service).
     cache:
         An explicit :class:`SimulationCache` to share between services, or
         ``None`` to disable response caching (in-batch dedup still applies).
     scheduling:
         An existing :class:`~repro.service.SchedulingService` to obtain
         offline schedules through (serial path; the caller keeps ownership).
-        ``None`` creates an owned one over ``schedule_cache_dir``.
+        ``None`` creates an owned one over ``schedule_cache_dir`` (or
+        ``cache_backend``).
     schedule_cache_dir:
         Persistent schedule-cache directory for the owned scheduling service
         *and* for pool workers (each worker opens the shared directory).
-        When ``scheduling`` is given with a directory-backed cache, that
-        directory is reused for the workers automatically.
+        When ``scheduling`` is given with a persistent cache, its backend
+        spec is shipped to the workers automatically.
     executor:
         An existing worker pool to execute on instead of creating one (the
         :mod:`repro.server` daemon shares one warm pool between scheduling
@@ -257,6 +283,7 @@ class SimulationService:
         *,
         n_workers: int = 1,
         cache_dir: Optional[str] = None,
+        cache_backend: Optional[Union[str, "CacheBackend"]] = None,
         cache: Union[SimulationCache, None, object] = _CACHE_DEFAULT,
         scheduling: Optional[SchedulingService] = None,
         schedule_cache_dir: Optional[str] = None,
@@ -264,20 +291,47 @@ class SimulationService:
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
-        if cache is not _CACHE_DEFAULT and cache_dir is not None:
-            raise ValueError("pass either cache_dir or an explicit cache, not both")
+        given = [
+            name
+            for name, present in (
+                ("cache_dir", cache_dir is not None),
+                ("cache_backend", cache_backend is not None),
+                ("cache", cache is not _CACHE_DEFAULT),
+            )
+            if present
+        ]
+        if len(given) > 1:
+            raise ValueError(
+                f"pass at most one of cache_dir, cache_backend and cache, "
+                f"not both {' and '.join(given)}"
+            )
         if scheduling is not None and schedule_cache_dir is not None:
             raise ValueError(
                 "pass either an existing scheduling service or schedule_cache_dir, not both"
             )
+        if cache_backend is not None and schedule_cache_dir is not None:
+            raise ValueError(
+                "pass either cache_backend or schedule_cache_dir, not both"
+            )
         self.n_workers = n_workers
-        if cache is _CACHE_DEFAULT:
-            self.cache: Optional[SimulationCache] = SimulationCache(cache_dir)
+        self._owns_cache = False
+        if cache_backend is not None:
+            from repro.store import simulation_backend
+
+            self.cache: Optional[SimulationCache] = SimulationCache(
+                backend=simulation_backend(cache_backend)
+            )
+            self._owns_cache = isinstance(cache_backend, str)
+        elif cache is _CACHE_DEFAULT:
+            self.cache = SimulationCache(cache_dir)
         else:
             self.cache = cache  # type: ignore[assignment]
         if scheduling is not None:
             self.scheduling = scheduling
             self._owns_scheduling = False
+        elif cache_backend is not None and isinstance(cache_backend, str):
+            self.scheduling = SchedulingService(cache_backend=cache_backend)
+            self._owns_scheduling = True
         else:
             self.scheduling = SchedulingService(cache_dir=schedule_cache_dir)
             self._owns_scheduling = True
@@ -294,6 +348,8 @@ class SimulationService:
             self._executor = None
         if self._owns_scheduling:
             self.scheduling.close()
+        if self._owns_cache and self.cache is not None:
+            self.cache.close()
 
     def __enter__(self) -> "SimulationService":
         return self
@@ -306,12 +362,10 @@ class SimulationService:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._executor
 
-    def _schedule_cache_dir(self) -> Optional[str]:
-        """The on-disk schedule cache pool workers should share, if any."""
+    def _schedule_backend_spec(self) -> Optional[str]:
+        """Backend spec of the persistent schedule cache workers should share."""
         cache = self.scheduling.cache
-        if cache is not None and cache.directory is not None:
-            return str(cache.directory)
-        return None
+        return cache.backend_spec() if cache is not None else None
 
     # -- the API -----------------------------------------------------------------
 
@@ -336,7 +390,7 @@ class SimulationService:
             else None
         )
         return self._get_executor().submit(
-            execute_simulation_job, (request, self._schedule_cache_dir(), cached)
+            execute_simulation_job, (request, self._schedule_backend_spec(), cached)
         )
 
     def submit_batch(
@@ -396,7 +450,7 @@ class SimulationService:
                 for request in requests
             ]
         else:
-            schedule_cache_dir = self._schedule_cache_dir()
+            schedule_backend_spec = self._schedule_backend_spec()
             schedule_cache = self.scheduling.cache
             jobs = []
             for request in requests:
@@ -409,7 +463,7 @@ class SimulationService:
                     if schedule_cache is not None
                     else None
                 )
-                jobs.append((request, schedule_cache_dir, cached))
+                jobs.append((request, schedule_backend_spec, cached))
             chunksize = max(1, len(requests) // (self.n_workers * 4))
             results = list(
                 self._get_executor().map(
@@ -421,9 +475,14 @@ class SimulationService:
 
     # -- introspection -----------------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
-        """Lifetime counters: simulations computed plus cache hit/miss/store totals."""
-        stats = {"computed": self.computed}
+    def stats(self) -> Dict[str, object]:
+        """Lifetime counters: simulations computed plus cache hit/miss/store totals.
+
+        ``cache_backend`` describes where cache entries persist (backend name,
+        location, entry count, size) — ``{"name": "memory"}`` when the cache
+        only lives in this process.
+        """
+        stats: Dict[str, object] = {"computed": self.computed}
         if self.cache is not None:
             cache_stats = self.cache.stats()
             stats.update(
@@ -431,5 +490,6 @@ class SimulationService:
                 cache_hits=cache_stats["hits"],
                 cache_misses=cache_stats["misses"],
                 cache_stores=cache_stats["stores"],
+                cache_backend=cache_stats["backend"],
             )
         return stats

@@ -69,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         "and sim-responses/ beneath it); omit to cache in memory only",
     )
     serve.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="storage backend for the persistent caches, as a 'name:key=value' "
+        "spec string — e.g. 'sqlite:path=cache.db' holds both caches in one "
+        "file (see `python -m repro.store --list-backends`).  Conflicts with "
+        "--cache-dir",
+    )
+    serve.add_argument(
         "--max-queue",
         type=int,
         default=DEFAULT_MAX_QUEUE,
@@ -167,16 +176,22 @@ def _add_server_argument(command: argparse.ArgumentParser) -> None:
 def serve_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    server = ReproServer(
-        host=args.host,
-        port=args.port,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-        max_queue=args.max_queue,
-        max_line_bytes=args.max_line_bytes,
-        allow_remote_shutdown=not args.no_remote_shutdown,
-        port_file=args.port_file,
-    )
+    if args.cache_dir is not None and args.cache_backend is not None:
+        parser.error("pass either --cache-dir or --cache-backend, not both")
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+            cache_backend=args.cache_backend,
+            max_queue=args.max_queue,
+            max_line_bytes=args.max_line_bytes,
+            allow_remote_shutdown=not args.no_remote_shutdown,
+            port_file=args.port_file,
+        )
+    except ValueError as error:
+        parser.error(f"--cache-backend: {error}")
 
     async def run() -> None:
         loop = asyncio.get_running_loop()
@@ -186,7 +201,8 @@ def serve_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         await server.start()
         print(
             f"serving on {server.host}:{server.port} "
-            f"(workers={args.workers}, cache={args.cache_dir or 'memory'})",
+            f"(workers={args.workers}, "
+            f"cache={args.cache_backend or args.cache_dir or 'memory'})",
             file=sys.stderr,
             flush=True,
         )

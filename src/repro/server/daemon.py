@@ -92,6 +92,11 @@ class ReproServer:
         Root of the on-disk caches, in the exact layout of the batch CLIs
         (``schedules/`` + ``sim-responses/`` beneath it).  ``None`` serves
         from memory only.
+    cache_backend:
+        Storage-backend spec string for the persistent caches instead of
+        ``cache_dir`` — e.g. ``sqlite:path=cache.db`` keeps both caches in
+        one SQLite file (see :mod:`repro.store`).  Conflicts with
+        ``cache_dir``.
     max_queue:
         Admission bound — at most this many computations queued or running
         before requests are rejected with a retry-after hint.
@@ -116,6 +121,7 @@ class ReproServer:
         port: int = 0,
         n_workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        cache_backend: Optional[str] = None,
         max_queue: int = DEFAULT_MAX_QUEUE,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         scheduling: Optional[SchedulingService] = None,
@@ -125,6 +131,8 @@ class ReproServer:
     ):
         if (scheduling is None) != (simulation is None):
             raise ValueError("pass both scheduling and simulation services, or neither")
+        if cache_dir is not None and cache_backend is not None:
+            raise ValueError("pass either cache_dir or cache_backend, not both")
         self.host = host
         self.port = port
         self.max_line_bytes = max_line_bytes
@@ -136,6 +144,7 @@ class ReproServer:
             scheduling = SchedulingService(
                 n_workers=n_workers,
                 cache_dir=str(root / SCHEDULE_CACHE_SUBDIR) if root else None,
+                cache_backend=cache_backend,
             )
             # One pool for both services: simulation jobs and scheduling jobs
             # are the same kind of CPU-bound pure work, and a single warm
@@ -143,6 +152,7 @@ class ReproServer:
             simulation = SimulationService(
                 n_workers=n_workers,
                 cache_dir=str(root / SIM_CACHE_SUBDIR) if root else None,
+                cache_backend=cache_backend,
                 scheduling=scheduling,
                 executor=scheduling._get_executor(),
             )
@@ -195,7 +205,12 @@ class ReproServer:
         loop, event = self._loop, self._stop_event
         if loop is None or event is None:
             return
-        loop.call_soon_threadsafe(event.set)
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            # The loop already closed: the server shut down on its own (e.g.
+            # through an in-band shutdown RPC) and there is nothing to stop.
+            pass
 
     async def _shutdown(self) -> None:
         # Refuse new computations first, then stop accepting connections,

@@ -124,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit to cache in memory for this batch only)",
     )
     parser.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="storage backend for the persistent schedule cache, as a "
+        "'name:key=value' spec string — e.g. 'sqlite:path=cache.db' or "
+        "'directory:root=DIR' (persists under DIR/schedules; see "
+        "`python -m repro.store --list-backends`).  Conflicts with --cache-dir",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -230,10 +239,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.input, "r", encoding="utf-8") as handle:
             requests = read_requests(handle, source=args.input)
 
+    if args.cache_dir is not None and args.cache_backend is not None:
+        parser.error("pass either --cache-dir or --cache-backend, not both")
+
     with maybe_profile(args.profile):
-        with SchedulingService(
-            n_workers=args.workers, cache_dir=args.cache_dir
-        ) as service:
+        try:
+            service = SchedulingService(
+                n_workers=args.workers,
+                cache_dir=args.cache_dir,
+                cache_backend=args.cache_backend,
+            )
+        except ValueError as error:
+            parser.error(f"--cache-backend: {error}")
+        with service:
             responses = service.submit_batch(requests)
             stats = service.stats()
 
@@ -259,11 +277,17 @@ def format_cache_stats(label: str, stats: dict) -> str:
     """One stderr line of a service's cache counters (``--verbose`` mode)."""
     if "cache_entries" not in stats:
         return f"{label}: disabled"
-    return (
+    line = (
         f"{label}: {stats['cache_entries']} entries, "
         f"{stats['cache_hits']} hits, {stats['cache_misses']} misses, "
         f"{stats['cache_stores']} stores"
     )
+    backend = stats.get("cache_backend")
+    if isinstance(backend, dict) and backend.get("name"):
+        location = backend.get("location")
+        where = f" at {location}" if location else ""
+        line += f" [backend: {backend['name']}{where}]"
+    return line
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,63 +6,73 @@ set, the scheduler spec and the horizon — and hold the deterministic
 ``result_dict`` of the corresponding response.  The same key therefore hits
 regardless of who asks, in which batch, at which worker count.
 
-The cache always serves from memory; with a ``directory`` it additionally
-persists every entry as one versioned JSON file (``<dir>/<key>.json``,
-written atomically via rename, mirroring the artifact store) and lazily loads
-entries back on lookup, so a service restarted against a warm directory
-recomputes nothing.  Files written by a *newer* format version raise
+The cache always serves from memory; with a storage backend
+(:class:`repro.store.CacheBackend`) it additionally persists every entry as a
+versioned JSON payload and lazily loads entries back on lookup, so a service
+restarted against a warm store recomputes nothing.  ``directory`` remains the
+classic shorthand for the file-per-key
+:class:`~repro.store.DirectoryBackend`; any other backend — e.g. one SQLite
+file shared by concurrent shard workers — plugs in via ``backend=``.
+Payloads written by a *newer* format version raise
 :class:`~repro.core.serialization.PayloadVersionError` instead of being
-silently recomputed and overwritten; corrupt files are treated as misses.
+silently recomputed and overwritten; corrupt payloads are treated as misses.
 
 The cache is safe for concurrent use: in-process state is guarded by a lock
 (the async serving daemon of :mod:`repro.server` touches one cache from the
-event loop and from executor callback threads), and the on-disk form
-tolerates two *processes* racing on the same key — every writer goes through
-its own unique temp file + atomic rename, every writer of a given key holds
-an identical (content-addressed) result, and a cache directory deleted or
-not-yet-created underneath a writer is recreated instead of crashing.
+event loop and from executor callback threads), and every backend's on-disk
+form tolerates two *processes* racing on the same key — writes are atomic
+(rename or transaction), first complete write wins, and every writer of a
+given key holds an identical (content-addressed) result.
 """
 
 from __future__ import annotations
 
-import json
-import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+import threading
 
 from repro.core.serialization import (
     PayloadVersionError,
-    atomic_write_json,
     parse_versioned_payload,
     versioned_payload,
 )
+from repro.store.backends import CacheBackend, DirectoryBackend
 
 CACHE_ENTRY_KIND = "repro/schedule-cache-entry"
 CACHE_ENTRY_VERSION = 1
 
 
 class ScheduleCache:
-    """In-memory (and optionally directory-backed) store of schedule results.
+    """In-memory (and optionally backend-persisted) store of schedule results.
 
-    ``kind``/``version`` name the on-disk payload envelope; the defaults are
+    ``kind``/``version`` name the persisted payload envelope; the defaults are
     the schedule-cache entry format.  Other content-addressed result stores
     (the simulation-response cache of :mod:`repro.runtime`) reuse this class
     with their own kind, so entries of different result types can never be
-    misread as each other even when directories are mixed up.
+    misread as each other even when they share one backend (which is exactly
+    what the SQLite backend does: one file, entries told apart by kind).
     """
 
     def __init__(
         self,
         directory: Optional[Union[str, Path]] = None,
         *,
+        backend: Optional[CacheBackend] = None,
         kind: str = CACHE_ENTRY_KIND,
         version: int = CACHE_ENTRY_VERSION,
     ):
+        if directory is not None and backend is not None:
+            raise ValueError("pass either directory or backend, not both")
         self.kind = kind
         self.version = int(version)
-        self.directory = Path(directory) if directory is not None else None
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
+        if backend is None and directory is not None:
+            backend = DirectoryBackend(directory)
+        self.backend: Optional[CacheBackend] = backend
+        #: Root of the classic directory layout, ``None`` for any other
+        #: backend.  Kept because callers use it to share a cache location.
+        self.directory: Optional[Path] = (
+            backend.root if isinstance(backend, DirectoryBackend) else None
+        )
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
         #: Lookup/store statistics over this cache's lifetime.
@@ -83,9 +93,9 @@ class ScheduleCache:
         """Like :meth:`get` but without touching the hit/miss statistics."""
         with self._lock:
             entry = self._entries.get(key)
-        if entry is None and self.directory is not None:
-            # Disk I/O happens outside the lock; racing loaders of the same
-            # key read identical (content-addressed) files, first one in wins.
+        if entry is None and self.backend is not None:
+            # Backend I/O happens outside the lock; racing loaders of the same
+            # key read identical (content-addressed) entries, first one in wins.
             entry = self._load(key)
             if entry is not None:
                 with self._lock:
@@ -109,59 +119,68 @@ class ScheduleCache:
                 return
             self._entries[key] = result
             self.stores += 1
-        if self.directory is not None:
+        if self.backend is not None:
             self._persist(key, result)
 
     # -- introspection -----------------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of the lifetime counters (entries, hits, misses, stores)."""
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the lifetime counters (entries, hits, misses, stores).
+
+        ``backend`` names where entries persist — the backend's own summary
+        (name, location, entry count, size), or ``{"name": "memory"}`` for a
+        memory-only cache.
+        """
+        backend = (
+            self.backend.stats() if self.backend is not None else {"name": "memory"}
+        )
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
+                "backend": backend,
             }
 
-    # -- the on-disk form --------------------------------------------------------
+    def backend_spec(self) -> Optional[str]:
+        """Spec string re-opening this cache's backend (``None`` if not possible).
 
-    def _path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / f"{key}.json"
+        This is how pool workers re-attach to the dispatching service's
+        persistent cache across process boundaries.
+        """
+        return self.backend.spec() if self.backend is not None else None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent; memory entries stay)."""
+        if self.backend is not None:
+            self.backend.close()
+
+    # -- the persisted form ------------------------------------------------------
 
     def _persist(self, key: str, result: Dict[str, Any]) -> None:
-        # Written unconditionally through a per-writer unique temp file
-        # (:func:`~repro.core.serialization.atomic_write_json`): concurrent
-        # services sharing one directory then cannot truncate each other
-        # mid-write (os.replace is atomic, last writer wins, and every writer
-        # holds an identical result), and a corrupt entry left by a crashed
-        # writer is repaired by the next recompute instead of shadowing the
-        # key forever.
+        # The backend makes the write atomic and first-write-wins; every
+        # writer of a given key holds an identical (content-addressed) result,
+        # so whichever write lands, readers see a complete, correct entry.
+        assert self.backend is not None
         payload = versioned_payload(
             self.kind, self.version, {"key": key, "result": result}
         )
-        try:
-            atomic_write_json(self._path(key), payload)
-        except FileNotFoundError:
-            # The directory vanished (or was never created) underneath us —
-            # e.g. a concurrent cleanup, or a writer racing the first mkdir.
-            # Recreate it and retry once; a second failure is a real error.
-            self.directory.mkdir(parents=True, exist_ok=True)
-            atomic_write_json(self._path(key), payload)
+        self.backend.put(key, payload)
 
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
-        path = self._path(key)
-        if not path.exists():
+        assert self.backend is not None
+        payload = self.backend.get(key)
+        if payload is None:
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
             _, data = parse_versioned_payload(
                 payload, self.kind, max_version=self.version
             )
             return dict(data["result"])
         except PayloadVersionError:
             raise  # a newer writer owns this entry: never clobber it
-        except (ValueError, KeyError, TypeError, OSError):
-            return None  # corrupt entry: treat as a miss and recompute
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt or foreign-kind entry: treat as a miss

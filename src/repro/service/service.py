@@ -29,7 +29,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.serialization import content_hash, schedule_to_dict
@@ -43,6 +53,9 @@ from repro.service.messages import (
     ScheduleResponse,
 )
 from repro.service.spec import SchedulerSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import CacheBackend
 
 #: Spec names for which the service derives a deterministic seed when the
 #: request does not pin one.  Methods registered here must accept a ``seed``
@@ -195,6 +208,14 @@ class SchedulingService:
     cache_dir:
         Directory for the persistent schedule cache; ``None`` keeps the
         cache in memory only.
+    cache_backend:
+        Storage-backend spec string (see :mod:`repro.store`) — e.g.
+        ``sqlite:path=cache.db`` or ``directory:root=DIR`` — or a live
+        :class:`~repro.store.CacheBackend`.  Directory specs persist under
+        ``root/schedules`` (the shared two-namespace cache layout);
+        ``cache_dir`` remains the shorthand for using a directory as the
+        schedule cache *root* directly.  The service owns a backend it
+        opened from a string (closed with the service).
     cache:
         An explicit :class:`ScheduleCache` to share between services, or
         ``None`` to disable the cache: nothing is stored across batches and
@@ -218,16 +239,37 @@ class SchedulingService:
         *,
         n_workers: int = 1,
         cache_dir: Optional[str] = None,
+        cache_backend: Optional[Union[str, "CacheBackend"]] = None,
         cache: Union[ScheduleCache, None, object] = _CACHE_DEFAULT,
         executor: Optional[Executor] = None,
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
-        if cache is not _CACHE_DEFAULT and cache_dir is not None:
-            raise ValueError("pass either cache_dir or an explicit cache, not both")
+        given = [
+            name
+            for name, present in (
+                ("cache_dir", cache_dir is not None),
+                ("cache_backend", cache_backend is not None),
+                ("cache", cache is not _CACHE_DEFAULT),
+            )
+            if present
+        ]
+        if len(given) > 1:
+            raise ValueError(
+                f"pass at most one of cache_dir, cache_backend and cache, "
+                f"not both {' and '.join(given)}"
+            )
         self.n_workers = n_workers
-        if cache is _CACHE_DEFAULT:
-            self.cache: Optional[ScheduleCache] = ScheduleCache(cache_dir)
+        self._owns_cache = False
+        if cache_backend is not None:
+            from repro.store import schedule_backend
+
+            self.cache: Optional[ScheduleCache] = ScheduleCache(
+                backend=schedule_backend(cache_backend)
+            )
+            self._owns_cache = isinstance(cache_backend, str)
+        elif cache is _CACHE_DEFAULT:
+            self.cache = ScheduleCache(cache_dir)
         else:
             self.cache = cache  # type: ignore[assignment]
         self._executor: Optional[Executor] = executor
@@ -241,6 +283,8 @@ class SchedulingService:
         if self._executor is not None and self._owns_executor:
             self._executor.shutdown()
             self._executor = None
+        if self._owns_cache and self.cache is not None:
+            self.cache.close()
 
     def __enter__(self) -> "SchedulingService":
         return self
@@ -331,9 +375,14 @@ class SchedulingService:
 
     # -- introspection -----------------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
-        """Lifetime counters: requests computed plus cache hit/miss/store totals."""
-        stats = {"computed": self.computed}
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime counters: requests computed plus cache hit/miss/store totals.
+
+        ``cache_backend`` describes where cache entries persist (backend name,
+        location, entry count, size) — ``{"name": "memory"}`` when the cache
+        only lives in this process.
+        """
+        stats: Dict[str, Any] = {"computed": self.computed}
         if self.cache is not None:
             cache_stats = self.cache.stats()
             stats.update(
@@ -341,5 +390,6 @@ class SchedulingService:
                 cache_hits=cache_stats["hits"],
                 cache_misses=cache_stats["misses"],
                 cache_stores=cache_stats["stores"],
+                cache_backend=cache_stats["backend"],
             )
         return stats

@@ -1,0 +1,49 @@
+"""``repro.store`` — pluggable storage backends for the content-addressed caches.
+
+The persistence layer under the whole stack: every cache
+(:class:`~repro.service.cache.ScheduleCache`,
+:class:`~repro.runtime.service.SimulationCache`) stores its versioned payload
+envelopes through a :class:`CacheBackend` picked by a ``name:key=value`` spec
+string — ``directory:root=DIR`` for the classic file-per-key layout,
+``sqlite:path=FILE.db`` for a single WAL-mode SQLite file that survives
+millions of entries and concurrent shard workers.
+
+``python -m repro.store`` inspects and maintains any backend
+(``stats`` / ``ls`` / ``prune``) and migrates entries between backends
+(``migrate``) with a verified count.
+"""
+
+from repro.store.backends import (
+    SCHEDULE_CACHE_SUBDIR,
+    SIM_CACHE_SUBDIR,
+    CacheBackend,
+    DirectoryBackend,
+    SqliteBackend,
+)
+from repro.store.migrate import MigrationResult, migrate_backend
+from repro.store.registry import (
+    backend_names,
+    create_backend,
+    format_backend_listing,
+    parse_backend_spec,
+    register_backend,
+    schedule_backend,
+    simulation_backend,
+)
+
+__all__ = [
+    "CacheBackend",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "SCHEDULE_CACHE_SUBDIR",
+    "SIM_CACHE_SUBDIR",
+    "MigrationResult",
+    "migrate_backend",
+    "backend_names",
+    "create_backend",
+    "format_backend_listing",
+    "parse_backend_spec",
+    "register_backend",
+    "schedule_backend",
+    "simulation_backend",
+]

@@ -1,0 +1,75 @@
+"""Copy cache entries between backends, with a verified count.
+
+The upgrade path for a cache that has outgrown its backend: migrate a
+file-per-key directory into one SQLite file (or back) without losing a single
+entry.  Copies are raw payload envelopes — no parsing, no version checks — so
+a migration never reinterprets (or downgrades) what it moves, and entries of
+every kind travel together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.store.backends import CacheBackend
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """What a migration did, plus the verification that it stuck."""
+
+    copied: int  #: entries written to the destination by this run
+    skipped: int  #: source entries already present at the destination
+    corrupt: int  #: unreadable source entries, left behind
+    verified: int  #: migrated keys confirmed readable from the destination
+
+    @property
+    def total(self) -> int:
+        return self.copied + self.skipped + self.corrupt
+
+
+def migrate_backend(
+    source: CacheBackend,
+    destination: CacheBackend,
+    *,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> MigrationResult:
+    """Copy every readable entry of ``source`` into ``destination``.
+
+    Existing destination entries are never overwritten (``put`` is
+    first-write-wins everywhere); they count as ``skipped``.  After copying,
+    every migrated key is read back from the destination — a missing readback
+    raises ``RuntimeError``, so a reported success really means the data is
+    there.  ``progress(done, total)`` is called after each key when given.
+    """
+    keys = source.keys()
+    total = len(keys)
+    copied = 0
+    skipped = 0
+    corrupt = 0
+    migrated = []
+    for done, key in enumerate(keys, start=1):
+        payload = source.get(key)
+        if payload is None:
+            corrupt += 1
+        elif destination.get(key) is not None:
+            skipped += 1
+            migrated.append(key)
+        else:
+            destination.put(key, payload)
+            copied += 1
+            migrated.append(key)
+        if progress is not None:
+            progress(done, total)
+    verified = 0
+    for key in migrated:
+        if destination.get(key) is None:
+            raise RuntimeError(
+                f"migration verification failed: key {key!r} unreadable at "
+                "the destination"
+            )
+        verified += 1
+    return MigrationResult(
+        copied=copied, skipped=skipped, corrupt=corrupt, verified=verified
+    )

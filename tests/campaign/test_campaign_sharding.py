@@ -1,0 +1,307 @@
+"""Sharded campaign execution: partition properties, byte-identical merge."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import (
+    CAMPAIGN_JOURNAL_FILENAME,
+    CampaignRunner,
+    build_campaign,
+    cell_shard,
+    find_shard_journals,
+    load_campaign_records,
+    merge_shard_journals,
+    parse_shard,
+    run_campaign,
+    runtime_cell_shard,
+    shard_journal_filename,
+    shard_of_key,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def small_spec(**overrides):
+    settings = dict(
+        name="shard-test",
+        scenarios=("paper-default",),
+        methods=("static", "gpiocp"),
+        n_systems=2,
+        replications=1,
+        execution_models=("controller",),
+    )
+    settings.update(overrides)
+    return build_campaign(**settings)
+
+
+class TestShardOfKey:
+    @given(
+        key=st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
+        n_shards=st.integers(min_value=1, max_value=64),
+    )
+    def test_shard_is_in_range(self, key, n_shards):
+        assert 0 <= shard_of_key(key, n_shards) < n_shards
+
+    @given(
+        keys=st.lists(
+            st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
+            min_size=2,
+            max_size=20,
+        ),
+        n_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_ranges_are_contiguous(self, keys, n_shards):
+        """Key order and shard order agree: shards are keyspace *ranges*."""
+        shards = [shard_of_key(key, n_shards) for key in sorted(keys)]
+        assert shards == sorted(shards)
+
+    def test_single_shard_owns_everything(self):
+        assert shard_of_key("0" * 16, 1) == 0
+        assert shard_of_key("f" * 16, 1) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_of_key("0" * 16, 0)
+        with pytest.raises(ValueError, match="invalid content key"):
+            shard_of_key("not-hex!", 4)
+        with pytest.raises(ValueError, match="invalid content key"):
+            shard_of_key("abc", 4)
+
+
+class TestGridPartition:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_systems=st.integers(min_value=1, max_value=3),
+        replications=st.integers(min_value=1, max_value=2),
+        n_utilisations=st.integers(min_value=0, max_value=2),
+        n_shards=st.integers(min_value=1, max_value=6),
+    )
+    def test_shards_partition_any_grid(
+        self, n_systems, replications, n_utilisations, n_shards
+    ):
+        """Every cell of every grid lands in exactly one shard."""
+        spec = small_spec(
+            n_systems=n_systems,
+            replications=replications,
+            utilisations=(0.3, 0.5)[:n_utilisations],
+        )
+        cells = list(spec.cells())
+        runtime_cells = list(spec.runtime_cells())
+        shard_lists = [
+            [c for c in cells if cell_shard(spec, c, n_shards) == index]
+            for index in range(n_shards)
+        ]
+        runtime_shard_lists = [
+            [c for c in runtime_cells if runtime_cell_shard(spec, c, n_shards) == index]
+            for index in range(n_shards)
+        ]
+        # Complete: the union, reassembled in order, is the full grid ...
+        assert sorted(
+            (cell for shard in shard_lists for cell in shard), key=lambda c: c.key()
+        ) == sorted(cells, key=lambda c: c.key())
+        assert sorted(
+            (cell for shard in runtime_shard_lists for cell in shard),
+            key=lambda c: c.key(),
+        ) == sorted(runtime_cells, key=lambda c: c.key())
+        # ... and disjoint: the sizes add up exactly.
+        assert sum(len(shard) for shard in shard_lists) == len(cells)
+        assert sum(len(s) for s in runtime_shard_lists) == len(runtime_cells)
+
+    def test_runtime_cells_follow_their_schedule_cell(self):
+        spec = small_spec()
+        for cell in spec.runtime_cells():
+            assert runtime_cell_shard(spec, cell, 4) == cell_shard(
+                spec, cell.schedule_cell(), 4
+            )
+
+
+class TestParseShard:
+    def test_valid(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard(" 2/4 ") == (2, 4)
+
+    @pytest.mark.parametrize("text", ["0/4", "5/4", "0/0", "a/b", "1-4", "1/", "/4"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+    def test_filename_round_trip(self):
+        from repro.campaign.runner import SHARD_JOURNAL_RE
+
+        name = shard_journal_filename(3, 8)
+        match = SHARD_JOURNAL_RE.match(name)
+        assert match and (int(match.group(1)), int(match.group(2))) == (3, 8)
+
+
+class TestShardedRuns:
+    def test_two_shards_merge_byte_identical_to_single_process(self, tmp_path):
+        spec = small_spec()
+        single = run_campaign(spec, artifact_dir=tmp_path / "single")
+        assert single.complete
+        reference = (
+            tmp_path / "single" / spec.content_key() / CAMPAIGN_JOURNAL_FILENAME
+        ).read_bytes()
+
+        sharded_dir = tmp_path / "sharded"
+        db = tmp_path / "cache.db"
+        results = [
+            run_campaign(
+                spec,
+                artifact_dir=sharded_dir,
+                shard=(index, 2),
+                cache_backend=f"sqlite:path={db}",
+            )
+            for index in (1, 2)
+        ]
+        assert all(result.complete for result in results)
+        # The last finishing shard merged automatically.
+        assert any(result.merged_journal is not None for result in results)
+        merged = (
+            sharded_dir / spec.content_key() / CAMPAIGN_JOURNAL_FILENAME
+        ).read_bytes()
+        assert merged == reference
+        # Both runs together covered the grid exactly once.
+        assert sum(result.evaluated for result in results) == (
+            spec.n_cells + spec.n_runtime_cells
+        )
+        # And the reports agree too.
+        records, runtime_records = load_campaign_records(sharded_dir, spec)
+        single_records, single_runtime = load_campaign_records(
+            tmp_path / "single", spec
+        )
+        assert records == single_records
+        assert runtime_records == single_runtime
+
+    def test_shard_resume_recomputes_nothing(self, tmp_path):
+        spec = small_spec(execution_models=())
+        first = run_campaign(spec, artifact_dir=tmp_path, shard=(1, 2))
+        again = run_campaign(spec, artifact_dir=tmp_path, shard=(1, 2))
+        assert again.evaluated == 0
+        assert again.resumed == first.evaluated
+        assert again.complete
+
+    def test_incomplete_shards_do_not_merge(self, tmp_path):
+        spec = small_spec(execution_models=())
+        result = run_campaign(spec, artifact_dir=tmp_path, shard=(1, 2))
+        assert result.complete  # this shard is done ...
+        assert result.merged_journal is None  # ... but the campaign is not
+        directory = tmp_path / spec.content_key()
+        assert not (directory / CAMPAIGN_JOURNAL_FILENAME).exists()
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_shard_journals(directory, spec)
+
+    def test_shard_requires_artifact_dir(self):
+        with pytest.raises(ValueError, match="artifact_dir"):
+            CampaignRunner(small_spec(), shard=(1, 2))
+
+    def test_invalid_shard_tuple(self, tmp_path):
+        with pytest.raises(ValueError, match="shard"):
+            CampaignRunner(small_spec(), artifact_dir=tmp_path, shard=(3, 2))
+
+    def test_cache_dir_and_backend_conflict(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            CampaignRunner(
+                small_spec(),
+                artifact_dir=tmp_path,
+                cache_dir=str(tmp_path / "cache"),
+                cache_backend=f"sqlite:path={tmp_path / 'cache.db'}",
+            )
+
+
+class TestFindAndMerge:
+    def test_find_shard_journals(self, tmp_path):
+        (tmp_path / shard_journal_filename(1, 2)).write_text("")
+        (tmp_path / shard_journal_filename(2, 2)).write_text("")
+        (tmp_path / CAMPAIGN_JOURNAL_FILENAME).write_text("")  # not a shard
+        n_shards, journals = find_shard_journals(tmp_path)
+        assert n_shards == 2
+        assert sorted(journals) == [1, 2]
+
+    def test_empty_directory(self, tmp_path):
+        assert find_shard_journals(tmp_path) == (0, {})
+        with pytest.raises(ValueError, match="no shard journals"):
+            merge_shard_journals(tmp_path, small_spec())
+
+    def test_mixed_totals_are_rejected(self, tmp_path):
+        (tmp_path / shard_journal_filename(1, 2)).write_text("")
+        (tmp_path / shard_journal_filename(1, 4)).write_text("")
+        with pytest.raises(ValueError, match="mixed shard totals"):
+            find_shard_journals(tmp_path)
+
+    def test_explicit_merge_matches_auto_merge(self, tmp_path):
+        spec = small_spec(execution_models=())
+        for index in (1, 2):
+            run_campaign(spec, artifact_dir=tmp_path, shard=(index, 2))
+        directory = tmp_path / spec.content_key()
+        merged = (directory / CAMPAIGN_JOURNAL_FILENAME).read_bytes()
+        target = merge_shard_journals(directory, spec)
+        assert target.read_bytes() == merged
+
+
+class TestShardCli:
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.campaign", *argv],
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_sharded_run_and_merge_subcommand(self, tmp_path):
+        base = [
+            "run",
+            "--name",
+            "cli-shard",
+            "--scenarios",
+            "paper-default",
+            "--methods",
+            "static",
+            "--systems",
+            "2",
+            "--artifact-dir",
+            str(tmp_path / "camp"),
+            "--cache-backend",
+            f"sqlite:path={tmp_path / 'cache.db'}",
+            "--report",
+            "none",
+        ]
+        first = self.run_cli(*base, "--shard", "1/2")
+        assert first.returncode == 0, first.stderr
+        assert "shard 1/2" in first.stderr
+        second = self.run_cli(*base, "--shard", "2/2")
+        assert second.returncode == 0, second.stderr
+        merge = self.run_cli("merge", "--artifact-dir", str(tmp_path / "camp"))
+        assert merge.returncode == 0, merge.stderr
+        assert "merged shard journals" in merge.stderr
+        report = self.run_cli(
+            "report", "--artifact-dir", str(tmp_path / "camp"), "--format", "json"
+        )
+        assert report.returncode == 0, report.stderr
+        assert "warning" not in report.stderr
+
+    def test_shard_without_artifact_dir_is_rejected(self, tmp_path):
+        result = self.run_cli(
+            "run", "--name", "x", "--shard", "1/2", "--report", "none"
+        )
+        assert result.returncode == 2
+        assert "--shard requires --artifact-dir" in result.stderr
+
+    def test_bad_shard_designator_is_rejected(self, tmp_path):
+        result = self.run_cli(
+            "run",
+            "--name",
+            "x",
+            "--artifact-dir",
+            str(tmp_path),
+            "--shard",
+            "7",
+            "--report",
+            "none",
+        )
+        assert result.returncode == 2
+        assert "I/N" in result.stderr

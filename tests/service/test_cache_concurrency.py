@@ -139,6 +139,120 @@ class TestProcessSafety:
         assert final["payload"] == list(range(50))
 
 
+SQLITE_HAMMER_SNIPPET = """
+import json, sys
+from repro.service.cache import ScheduleCache
+from repro.store import create_backend
+
+spec, key, value, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+result = {"answer": value, "payload": list(range(50))}
+for _ in range(rounds):
+    cache = ScheduleCache(backend=create_backend(spec))
+    cache._persist(key, result)
+    loaded = ScheduleCache(backend=create_backend(spec)).get(key)
+    assert loaded is not None, "entry unreadable mid-race"
+    assert loaded["payload"] == list(range(50)), "torn entry: " + json.dumps(loaded)
+print("ok")
+"""
+
+
+class TestSqliteBackendConcurrency:
+    """The same thread/process hammering, against one shared SQLite file."""
+
+    def test_many_threads_one_key(self, tmp_path):
+        from repro.store import SqliteBackend
+
+        cache = ScheduleCache(backend=SqliteBackend(tmp_path / "cache.db"))
+        results = []
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(thread_index: int):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(50):
+                    cache.put(KEY, result_for(thread_index))
+                    entry = cache.get(KEY)
+                    assert entry is not None
+                    results.append(entry["answer"])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(set(results)) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 16 * 50
+        assert stats["backend"]["name"] == "sqlite"
+
+    def test_distinct_keys_from_threads_all_land(self, tmp_path):
+        from repro.store import SqliteBackend
+
+        path = tmp_path / "cache.db"
+        cache = ScheduleCache(backend=SqliteBackend(path))
+        barrier = threading.Barrier(8)
+
+        def worker(thread_index: int):
+            barrier.wait(timeout=30)
+            for item in range(20):
+                cache.put(f"key-{thread_index}-{item}", result_for(item))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(cache) == 8 * 20
+        assert cache.stats()["stores"] == 8 * 20
+        # Every entry is readable back from the file by a fresh instance.
+        reloaded = ScheduleCache(backend=SqliteBackend(path))
+        assert reloaded.get("key-3-7") == result_for(7)
+
+    def test_two_processes_hammer_one_key(self, tmp_path):
+        """Two processes writing one key in one SQLite file never tear it."""
+        from repro.store import SqliteBackend
+
+        spec = f"sqlite:path={tmp_path / 'cache.db'}"
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", SQLITE_HAMMER_SNIPPET, spec, KEY, str(value), "40"],
+                env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for value in (1, 2)
+        ]
+        for process in processes:
+            stdout, stderr = process.communicate(timeout=120)
+            assert process.returncode == 0, stderr
+            assert stdout.strip() == "ok"
+        final = ScheduleCache(backend=SqliteBackend(tmp_path / "cache.db")).get(KEY)
+        assert final is not None
+        assert final["answer"] in (1, 2)
+        assert final["payload"] == list(range(50))
+
+    def test_kind_isolation_in_one_file(self, tmp_path):
+        from repro.store import SqliteBackend
+
+        path = tmp_path / "cache.db"
+        sim_cache = SimulationCache(backend=SqliteBackend(path))
+        sim_cache.put(KEY, result_for(9))
+        # A schedule cache over the same file must not misread the sim entry.
+        schedule_cache = ScheduleCache(backend=SqliteBackend(path))
+        assert schedule_cache.get(KEY) is None
+        with SqliteBackend(path) as backend:
+            assert backend.kind_counts() == {"repro/sim-cache-entry": 1}
+
+
 class TestSimulationCacheInheritsSafety:
     def test_sim_cache_counters_and_kind_isolation(self, tmp_path):
         directory = tmp_path / "cache"

@@ -1,0 +1,97 @@
+"""repro.store migration + maintenance CLI."""
+
+import json
+
+import pytest
+
+from repro.store import DirectoryBackend, SqliteBackend, migrate_backend
+from repro.store.__main__ import main
+
+PAYLOAD = {"kind": "repro/test-entry", "version": 1, "data": {"answer": 42}}
+
+
+def seeded_directory(tmp_path, n=5):
+    backend = DirectoryBackend(tmp_path / "src")
+    for index in range(n):
+        backend.put(f"{index:016x}", dict(PAYLOAD, data={"answer": index}))
+    return backend
+
+
+class TestMigrateBackend:
+    def test_directory_to_sqlite_with_verified_count(self, tmp_path):
+        source = seeded_directory(tmp_path)
+        destination = SqliteBackend(tmp_path / "dst.db")
+        result = migrate_backend(source, destination)
+        assert result.copied == 5
+        assert result.skipped == 0
+        assert result.corrupt == 0
+        assert result.verified == 5
+        assert destination.keys() == source.keys()
+        for key in source.keys():
+            assert destination.get(key) == source.get(key)
+
+    def test_second_run_is_idempotent(self, tmp_path):
+        source = seeded_directory(tmp_path)
+        destination = SqliteBackend(tmp_path / "dst.db")
+        migrate_backend(source, destination)
+        again = migrate_backend(source, destination)
+        assert again.copied == 0
+        assert again.skipped == 5
+        assert again.verified == 5
+
+    def test_corrupt_entries_are_counted_and_left_behind(self, tmp_path):
+        source = seeded_directory(tmp_path, n=2)
+        (tmp_path / "src" / ("ff" * 8 + ".json")).write_text("{torn")
+        destination = SqliteBackend(tmp_path / "dst.db")
+        result = migrate_backend(source, destination)
+        assert result.copied == 2
+        assert result.corrupt == 1
+        assert ("ff" * 8) not in destination.keys()
+
+    def test_progress_callback(self, tmp_path):
+        source = seeded_directory(tmp_path, n=3)
+        destination = DirectoryBackend(tmp_path / "dst")
+        seen = []
+        migrate_backend(source, destination, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestStoreCli:
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "directory" in out and "sqlite" in out
+
+    def test_stats_reports_kinds(self, tmp_path, capsys):
+        seeded_directory(tmp_path)
+        assert main(["stats", f"directory:root={tmp_path / 'src'}"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 5
+        assert stats["kinds"] == {"repro/test-entry": 5}
+
+    def test_ls_with_limit(self, tmp_path, capsys):
+        seeded_directory(tmp_path)
+        assert main(["ls", str(tmp_path / "src"), "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 2
+        assert "3 more" in captured.err
+
+    def test_prune_corrupt(self, tmp_path, capsys):
+        seeded_directory(tmp_path, n=2)
+        (tmp_path / "src" / ("ff" * 8 + ".json")).write_text("{torn")
+        assert main(["prune", str(tmp_path / "src")]) == 0
+        assert "pruned 1 corrupt entry" in capsys.readouterr().err
+        assert len(DirectoryBackend(tmp_path / "src").keys()) == 2
+
+    def test_migrate_bare_paths(self, tmp_path, capsys):
+        seeded_directory(tmp_path)
+        db = tmp_path / "dst.db"
+        assert main(["migrate", str(tmp_path / "src"), str(db)]) == 0
+        assert "migrated 5 entries" in capsys.readouterr().err
+        with SqliteBackend(db) as destination:
+            assert len(destination) == 5
+
+    def test_invalid_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "redis:host=nope"])
+        assert excinfo.value.code == 2
