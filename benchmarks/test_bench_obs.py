@@ -1,0 +1,126 @@
+"""Observability overhead benchmarks.
+
+PR 9 instrumented the warm serving path (request counters, per-phase latency
+histograms, trace spans).  The contract is that observability is effectively
+free where it matters most — the cached round-trip:
+
+* **instrumented warm round-trip** — the same measurement as
+  ``test_bench_server.py::test_warm_round_trip_latency``, now running through
+  the instrumented dispatcher and cache.  When ``REPRO_BENCH_BASELINE``
+  points at a pre-instrumentation baseline, the median must stay within
+  ``OVERHEAD_TOLERANCE`` (5%) of the baseline's warm RTT
+  (``REPRO_BENCH_BASELINE_MODE=warn`` downgrades a breach to a warning);
+* **registry micro-costs** — a counter increment and a histogram observation,
+  the two operations sitting on the warm path.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.obs import REQUEST_LATENCY_MS, REQUESTS_TOTAL, MetricsRegistry, render
+from repro.scenario import create_scenario
+from repro.server import ServerClient, ThreadedServer
+from repro.service import ScheduleRequest, SchedulerSpec
+
+SCENARIO = create_scenario("short-hyperperiod")
+
+#: Allowed instrumented-vs-uninstrumented warm-RTT slowdown (0.05 == +5%).
+OVERHEAD_TOLERANCE = 0.05
+
+#: The pre-instrumentation warm-RTT median this PR is measured against.
+BASELINE_KEY = "benchmarks/test_bench_server.py::test_warm_round_trip_latency"
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    with ThreadedServer(n_workers=1, port=0) as threaded:
+        with ServerClient(threaded.host, threaded.port) as client:
+            request = ScheduleRequest(
+                scenario=SCENARIO, spec=SchedulerSpec.parse("static")
+            )
+            client.schedule(request)  # warm the daemon's cache
+            yield client, request
+
+
+def _baseline_warm_rtt(rootpath) -> float:
+    """The committed warm-RTT median, or 0.0 when no baseline is configured."""
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline_path:
+        return 0.0
+    resolved = os.path.join(str(rootpath), baseline_path)
+    try:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            value = json.load(handle).get(BASELINE_KEY)
+    except (OSError, ValueError):
+        return 0.0
+    return float(value) if isinstance(value, (int, float)) and value > 0 else 0.0
+
+
+@pytest.mark.benchmark(group="obs")
+def test_instrumented_warm_round_trip_overhead(benchmark, warm_server, request):
+    client, schedule_request = warm_server
+    response = benchmark(client.schedule, schedule_request)
+    assert response.cache == "hit"
+
+    median = benchmark.stats.stats.median
+    baseline = _baseline_warm_rtt(request.config.rootpath)
+    print(f"\ninstrumented warm round-trip: {median * 1e6:.0f} us")
+    if not baseline:
+        return
+    overhead = median / baseline - 1.0
+    print(f"overhead vs uninstrumented baseline: {overhead * +100.0:+.1f}%")
+    if median <= baseline * (1.0 + OVERHEAD_TOLERANCE):
+        return
+    message = (
+        f"instrumented warm RTT {median:.6f}s exceeds baseline "
+        f"{baseline:.6f}s by {overhead * 100.0:.1f}% "
+        f"(tolerance +{OVERHEAD_TOLERANCE * 100.0:.0f}%)"
+    )
+    if os.environ.get("REPRO_BENCH_BASELINE_MODE", "fail").lower() == "warn":
+        warnings.warn(message, stacklevel=1)
+    else:
+        pytest.fail(message)
+
+
+@pytest.mark.benchmark(group="obs")
+def test_counter_increment_cost(benchmark):
+    registry = MetricsRegistry()
+
+    def bump():
+        registry.counter_inc(REQUESTS_TOTAL, kind="schedule", cache="hit")
+
+    benchmark(bump)
+    print(f"\ncounter increment: {benchmark.stats.stats.median * 1e9:.0f} ns")
+
+
+@pytest.mark.benchmark(group="obs")
+def test_histogram_observation_cost(benchmark):
+    registry = MetricsRegistry()
+
+    def observe():
+        registry.histogram_observe(
+            REQUEST_LATENCY_MS, 0.4, kind="schedule", phase="cache-lookup"
+        )
+
+    benchmark(observe)
+    print(f"\nhistogram observation: {benchmark.stats.stats.median * 1e9:.0f} ns")
+
+
+@pytest.mark.benchmark(group="obs")
+def test_exposition_render_throughput(benchmark):
+    registry = MetricsRegistry()
+    for kind in ("schedule", "simulation"):
+        for phase in ("queue-wait", "cache-lookup", "schedule", "simulate", "store"):
+            for value in (0.2, 1.5, 40.0, 900.0):
+                registry.histogram_observe(
+                    REQUEST_LATENCY_MS, value, kind=kind, phase=phase
+                )
+        for cache in ("hit", "miss"):
+            registry.counter_inc(REQUESTS_TOTAL, 50, kind=kind, cache=cache)
+    snapshot = registry.snapshot()
+    text = benchmark(render, snapshot)
+    assert "repro_request_latency_ms_bucket" in text
+    print(f"\nexposition render: {benchmark.stats.stats.median * 1e6:.1f} us")

@@ -54,6 +54,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.campaign.report import CampaignReport
+from repro.campaign.timings import format_timings_table, read_timing_entries
+from repro.core import logging as relog
 from repro.campaign.runner import (
     CAMPAIGN_SPEC_FILENAME,
     CampaignRunner,
@@ -262,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    run.add_argument(
+        "--timings",
+        action="store_true",
+        help="record per-cell wall-clock timings to a campaign.metrics.jsonl "
+        "sidecar next to the journal (observability only — the journal's "
+        "bytes are unchanged); view with `report --timings`.  Requires "
+        "--artifact-dir",
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's service metrics (Prometheus text exposition) "
+        "to FILE when the campaign finishes",
+    )
+    relog.add_log_level_argument(run)
 
     merge = commands.add_parser(
         "merge",
@@ -287,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CONTENT_KEY",
         help="content key of the campaign to merge (as printed by run)",
     )
+    relog.add_log_level_argument(merge)
 
     report = commands.add_parser(
         "report", help="aggregate a campaign's journal into a report"
@@ -324,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    report.add_argument(
+        "--timings",
+        action="store_true",
+        help="append a p50/p95 wall-clock timing table per scenario x method, "
+        "aggregated from the campaign's *.metrics.jsonl sidecars "
+        "(see `run --timings`)",
+    )
+    relog.add_log_level_argument(report)
     return parser
 
 
@@ -392,6 +419,27 @@ def emit(text: str, output: Optional[str]) -> None:
             handle.write(text)
 
 
+def _write_runner_metrics(path: str, runner: CampaignRunner) -> None:
+    """Write the runner's service metrics as Prometheus text exposition.
+
+    Remote services (``--server``) proxy to the daemon and carry no local
+    registries — scrape the daemon's ``metrics`` op for those instead.
+    """
+    from repro.obs import merge_snapshots, write_metrics_file
+
+    registries = []
+    for service in (runner.simulation, runner.service):
+        collect = getattr(service, "metrics_registries", None)
+        if collect is None:
+            continue
+        for registry in collect():
+            if not any(registry is seen for seen in registries):
+                registries.append(registry)
+    snapshot = merge_snapshots([registry.snapshot() for registry in registries])
+    write_metrics_file(path, snapshot)
+    relog.info("metrics-written", path=path)
+
+
 def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -401,6 +449,8 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error(f"--max-cells must be >= 1, got {args.max_cells}")
     if args.cache_dir is not None and args.cache_backend is not None:
         parser.error("pass either --cache-dir or --cache-backend, not both")
+    if args.timings and args.artifact_dir is None:
+        parser.error("--timings requires --artifact-dir (the sidecar's home)")
     shard = None
     if args.shard is not None:
         try:
@@ -451,6 +501,7 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             shard=shard,
             service=service,
             simulation=simulation,
+            timings=args.timings,
         ) as runner:
             if runner.completed_cells and not args.resume:
                 parser.error(
@@ -459,6 +510,8 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                     f"{args.artifact_dir!r}; pass --resume to continue it"
                 )
             result = runner.run(max_cells=args.max_cells)
+            if args.metrics_out is not None:
+                _write_runner_metrics(args.metrics_out, runner)
     finally:
         if simulation is not None:
             simulation.close()
@@ -546,13 +599,19 @@ def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             "the campaign",
             file=sys.stderr,
         )
-    emit(render_report(report, args.report_format), args.output)
+    text = render_report(report, args.report_format)
+    if args.timings:
+        directory = Path(args.artifact_dir) / spec.content_key()
+        table = format_timings_table(read_timing_entries(directory))
+        text += f"\nper-cell wall-clock timings (computed cells):\n{table}\n"
+    emit(text, args.output)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    relog.configure_from_args(args)
 
     if args.list or args.list_scenarios or args.list_methods or args.list_execution_models:
         sections: List[str] = []

@@ -48,6 +48,11 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.analysis import max_response_time
 from repro.campaign.report import CampaignReport
 from repro.campaign.spec import CampaignCell, CampaignSpec, RuntimeCell
+from repro.campaign.timings import (
+    TimingsWriter,
+    runtime_timing_entry,
+    schedule_timing_entry,
+)
 from repro.core.serialization import atomic_write_json, canonical_json, content_hash
 from repro.runtime import SimulationRequest, SimulationResponse, SimulationService
 from repro.scenario import Scenario
@@ -384,6 +389,12 @@ class CampaignRunner:
         simulate through.  The caller keeps ownership and must close it.
         Without one, a campaign with a runtime section builds its own
         :class:`~repro.runtime.SimulationService` over ``service``.
+    timings:
+        Append one line per freshly evaluated cell (coordinates, cache
+        status, ``elapsed_ms``) to a ``campaign.metrics.jsonl`` sidecar next
+        to the journal (see :mod:`repro.campaign.timings`).  Observability
+        only: the journal's bytes are identical with timings on or off.
+        Requires ``artifact_dir``; ignored without one.
     """
 
     def __init__(
@@ -397,6 +408,7 @@ class CampaignRunner:
         shard: Optional[Tuple[int, int]] = None,
         service: Optional[SchedulingService] = None,
         simulation: Optional[SimulationService] = None,
+        timings: bool = False,
     ):
         if cache_dir is not None and cache_backend is not None:
             raise ValueError("pass either cache_dir or cache_backend, not both")
@@ -446,10 +458,16 @@ class CampaignRunner:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._write_spec()
             self._load_journal()
+        # Per-cell wall-clock timing sidecar (observability only): lines go
+        # to <journal stem>.metrics.jsonl beside the journal, never into the
+        # journal itself — journals stay byte-identical with timings on or
+        # off, and shard merges ignore sidecars entirely.
+        self._timings = TimingsWriter(self.directory, self._journal_filename, timings)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
+        self._timings.close()
         if self._journal is not None:
             self._journal.close()
             self._journal = None
@@ -534,6 +552,11 @@ class CampaignRunner:
                     self.spec, request, response, analysis_cache=analysis_cache
                 )
                 self._record(cell, values)
+                self._timings.write(
+                    schedule_timing_entry(
+                        cell, cache=response.cache, elapsed_s=response.elapsed_s
+                    )
+                )
                 evaluated += 1
             if progress is not None:
                 progress(
@@ -551,6 +574,11 @@ class CampaignRunner:
             responses = self.simulation.submit_batch(requests)
             for cell, response in zip(chunk, responses):
                 self._record_runtime(cell, runtime_cell_values(self.spec, response))
+                self._timings.write(
+                    runtime_timing_entry(
+                        cell, cache=response.cache, elapsed_s=response.elapsed_s
+                    )
+                )
                 evaluated += 1
             if progress is not None:
                 progress(
@@ -658,6 +686,7 @@ def run_campaign(
     service: Optional[SchedulingService] = None,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[_Progress], None]] = None,
+    timings: bool = False,
 ) -> CampaignResult:
     """One-call convenience wrapper: construct a runner, run, close."""
     with CampaignRunner(
@@ -668,6 +697,7 @@ def run_campaign(
         cache_backend=cache_backend,
         shard=shard,
         service=service,
+        timings=timings,
     ) as runner:
         return runner.run(max_cells=max_cells, progress=progress)
 

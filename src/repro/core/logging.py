@@ -1,0 +1,94 @@
+"""Structured stderr logging for the CLIs and the serving daemon.
+
+One module-level threshold, set from the ``--log-level`` flag every CLI
+carries; below it, :func:`log` costs a dict lookup and returns.  Lines are
+``key=value`` pairs on stderr::
+
+    level=info event=server-started host=127.0.0.1 port=46121 workers=2
+
+Values that are not bare words are quoted as JSON strings, so the lines stay
+machine-splittable no matter what lands in them.  The default level is
+``off`` — batch CLIs are silent unless asked — and logging never writes to
+stdout, which belongs to the JSONL/report payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Any
+
+#: Recognised levels, most to least verbose.  ``off`` disables everything.
+LEVELS = ("debug", "info", "warning", "error", "off")
+
+_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+_BARE_WORD = re.compile(r"^[A-Za-z0-9_.:/@+-]+$")
+
+_threshold = _RANK["off"]
+
+
+def configure(level: str) -> None:
+    """Set the global threshold (one of :data:`LEVELS`)."""
+    global _threshold
+    if level not in _RANK:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    _threshold = _RANK[level]
+
+
+def enabled(level: str) -> bool:
+    """Whether a :func:`log` call at ``level`` would emit anything."""
+    return _RANK.get(level, -1) >= _threshold and level != "off"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if _BARE_WORD.match(text):
+        return text
+    return json.dumps(text)
+
+
+def log(level: str, event: str, **fields: Any) -> None:
+    """Emit one structured line to stderr when ``level`` clears the threshold."""
+    if not enabled(level):
+        return
+    parts = [f"level={level}", f"event={_format_value(event)}"]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    print(" ".join(parts), file=sys.stderr, flush=True)
+
+
+def debug(event: str, **fields: Any) -> None:
+    log("debug", event, **fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    log("info", event, **fields)
+
+
+def warning(event: str, **fields: Any) -> None:
+    log("warning", event, **fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    log("error", event, **fields)
+
+
+def add_log_level_argument(parser, default: str = "off") -> None:
+    """Attach the shared ``--log-level`` flag to an argparse parser."""
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default=default,
+        help=f"structured key=value diagnostics on stderr (default: {default})",
+    )
+
+
+def configure_from_args(args) -> None:
+    """Apply a parsed ``--log-level`` flag (no-op when the parser lacks one)."""
+    level = getattr(args, "log_level", None)
+    if level is not None:
+        configure(level)

@@ -17,6 +17,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core import logging as relog
 from repro.core.profiling import DEFAULT_PROFILE_PATH, maybe_profile
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine
@@ -125,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered run-time execution models and exit "
         "(simulated via `python -m repro.runtime`)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics (Prometheus text exposition: cell "
+        "counters and evaluate-latency histograms) to FILE",
+    )
+    relog.add_log_level_argument(parser)
     return parser
 
 
@@ -164,13 +173,19 @@ def run_campaign_cli(parser: argparse.ArgumentParser, args: argparse.Namespace) 
     ``--resume`` semantics are deliberate there; this cross-link favours
     convenience) and reuses ``--workers`` for the scheduling service.
     """
-    from repro.campaign import load_campaign, run_campaign
+    from repro.campaign import CampaignRunner, load_campaign
+    from repro.campaign.__main__ import _write_runner_metrics
 
     try:
         spec = load_campaign(args.campaign)
     except (ValueError, KeyError) as error:
         parser.error(f"--campaign: {error}")
-    result = run_campaign(spec, artifact_dir=args.artifact_dir, n_workers=args.workers)
+    with CampaignRunner(
+        spec, artifact_dir=args.artifact_dir, n_workers=args.workers
+    ) as runner:
+        result = runner.run()
+        if args.metrics_out is not None:
+            _write_runner_metrics(args.metrics_out, runner)
     print(
         f"campaign {spec.name!r} ({spec.content_key()}): "
         f"{result.evaluated} evaluated, {result.resumed} resumed",
@@ -183,6 +198,7 @@ def run_campaign_cli(parser: argparse.ArgumentParser, args: argparse.Namespace) 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    relog.configure_from_args(args)
     if args.list_methods or args.list_scenarios or args.list_execution_models:
         if args.list_methods:
             print(format_scheduler_listing())
@@ -237,6 +253,7 @@ def _run_figures(args, config, methods, wants) -> int:
         print()
 
     needs_engine = any(figure in wants for figure in ("fig5", "fig6", "fig7"))
+    metrics_snapshot = None
     if needs_engine:
         with ExperimentEngine(config) as engine:
             if "fig5" in wants:
@@ -252,6 +269,16 @@ def _run_figures(args, config, methods, wants) -> int:
                 if "fig7" in wants:
                     run_fig7(config, verbose=True, precomputed=accuracy)
                     print()
+            metrics_snapshot = engine.metrics()
+
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry, write_metrics_file
+
+        if metrics_snapshot is None:
+            # A table1-only run uses no engine; emit a valid empty exposition.
+            metrics_snapshot = MetricsRegistry().snapshot()
+        write_metrics_file(args.metrics_out, metrics_snapshot)
+        relog.info("metrics-written", path=args.metrics_out)
 
     if args.artifact_dir:
         print(f"artifacts written under {args.artifact_dir}")

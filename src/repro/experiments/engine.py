@@ -16,6 +16,7 @@ available to every sweep without touching this module.
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
@@ -33,6 +34,7 @@ from repro.experiments.artifacts import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import AccuracySweepResult, SweepResult
 from repro.experiments.stats import mean
+from repro.obs.metrics import REQUEST_LATENCY_MS, REQUESTS_TOTAL, MetricsRegistry
 from repro.scenario import Scenario, materialize
 
 # Back-compat re-export: the adapter now lives with the other schedulers, so
@@ -207,6 +209,17 @@ def _worker_evaluate(job: EvalJob) -> CellResult:
     return evaluate_cell(_WORKER_CONFIG, job)
 
 
+def _worker_evaluate_timed(job: EvalJob) -> Tuple[CellResult, float]:
+    """Worker entry returning the cell plus its in-worker compute seconds.
+
+    Timing in the worker keeps pooled latency honest — the parent's iteration
+    order would otherwise fold queueing into the compute time.
+    """
+    started = time.monotonic()
+    cell = _worker_evaluate(job)
+    return cell, time.monotonic() - started
+
+
 # -- the engine ----------------------------------------------------------------
 
 
@@ -244,6 +257,8 @@ class ExperimentEngine:
         self._executor: Optional[ProcessPoolExecutor] = None
         #: Cells actually evaluated (cache misses) over this engine's lifetime.
         self.cells_computed = 0
+        #: Cell counters and evaluate-latency histogram (kind="experiment").
+        self.registry = MetricsRegistry()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -275,6 +290,7 @@ class ExperimentEngine:
             cached = self._cache_get(job)
             if cached is not None:
                 results[job] = cached
+                self._count_cell("hit")
             else:
                 pending.append(job)
 
@@ -283,18 +299,45 @@ class ExperimentEngine:
 
         if self.n_workers == 1:
             for job in pending:
+                started = time.monotonic()
                 cell = evaluate_cell(self.config, job)
+                self._observe_evaluate(time.monotonic() - started)
                 self._record(job, cell)
                 results[job] = cell
+                self._count_cell("miss")
         else:
             chunksize = max(1, len(pending) // (self.n_workers * 4))
             executor = self._get_executor()
-            for job, cell in zip(
-                pending, executor.map(_worker_evaluate, pending, chunksize=chunksize)
+            for job, (cell, duration_s) in zip(
+                pending,
+                executor.map(_worker_evaluate_timed, pending, chunksize=chunksize),
             ):
+                self._observe_evaluate(duration_s)
                 self._record(job, cell)
                 results[job] = cell
+                self._count_cell("miss")
         return results
+
+    def _count_cell(self, cache: str) -> None:
+        self.registry.counter_inc(
+            REQUESTS_TOTAL,
+            help="Requests answered, by kind and cache status.",
+            kind="experiment",
+            cache=cache,
+        )
+
+    def _observe_evaluate(self, duration_s: float) -> None:
+        self.registry.histogram_observe(
+            REQUEST_LATENCY_MS,
+            max(0.0, duration_s) * 1000.0,
+            help="Per-phase request latency in milliseconds.",
+            kind="experiment",
+            phase="evaluate",
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """A merged metrics snapshot of this engine (see :mod:`repro.obs`)."""
+        return self.registry.snapshot()
 
     def _get_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:

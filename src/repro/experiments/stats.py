@@ -25,6 +25,29 @@ def median(values: Sequence[float]) -> float:
     return (values[mid - 1] + values[mid]) / 2
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches the classic "linear" definition (numpy's default): the sorted
+    sample is treated as evenly spaced quantile knots and the answer is
+    interpolated between the two surrounding order statistics.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    values = sorted(values)
+    if not values:
+        return float("nan")
+    if len(values) == 1:
+        return values[0]
+    rank = (len(values) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return values[int(rank)]
+    fraction = rank - lower
+    return values[lower] * (1 - fraction) + values[upper] * fraction
+
+
 def std(values: Sequence[float]) -> float:
     values = list(values)
     if len(values) < 2:

@@ -1,0 +1,69 @@
+"""repro.obs — metrics registry, request tracing, Prometheus exposition.
+
+The stack's one observability surface: every layer records into a
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket latency histograms),
+request execution is traced into per-phase breakdowns via :func:`span`, and
+any registry snapshot renders to Prometheus text exposition with
+:func:`render`.  Observability data flows strictly outward — it never enters
+content keys, response envelopes, journals or cached payloads, so answers
+stay byte-identical with metrics on or off.
+"""
+
+from repro.obs.expo import render, write_metrics_file
+from repro.obs.metrics import (
+    CACHE_OPS_TOTAL,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    REQUEST_LATENCY_MS,
+    REQUESTS_TOTAL,
+    SERVER_COMPUTED_TOTAL,
+    SERVER_CONNECTIONS_OPEN,
+    SERVER_CONNECTIONS_TOTAL,
+    SERVER_DEDUP_TOTAL,
+    SERVER_QUEUE_DEPTH,
+    SERVER_REQUESTS_TOTAL,
+    SERVER_UPTIME_SECONDS,
+    MetricsRegistry,
+    merge_snapshots,
+    observe_phases,
+)
+from repro.obs.trace import (
+    PHASE_CACHE_LOOKUP,
+    PHASE_QUEUE_WAIT,
+    PHASE_SCHEDULE,
+    PHASE_SIMULATE,
+    PHASE_STORE,
+    Trace,
+    activate,
+    current_trace,
+    new_trace_id,
+    span,
+)
+
+__all__ = [
+    "CACHE_OPS_TOTAL",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "PHASE_CACHE_LOOKUP",
+    "PHASE_QUEUE_WAIT",
+    "PHASE_SCHEDULE",
+    "PHASE_SIMULATE",
+    "PHASE_STORE",
+    "REQUEST_LATENCY_MS",
+    "REQUESTS_TOTAL",
+    "SERVER_COMPUTED_TOTAL",
+    "SERVER_CONNECTIONS_OPEN",
+    "SERVER_CONNECTIONS_TOTAL",
+    "SERVER_DEDUP_TOTAL",
+    "SERVER_QUEUE_DEPTH",
+    "SERVER_REQUESTS_TOTAL",
+    "SERVER_UPTIME_SECONDS",
+    "Trace",
+    "activate",
+    "current_trace",
+    "merge_snapshots",
+    "new_trace_id",
+    "observe_phases",
+    "render",
+    "span",
+    "write_metrics_file",
+]

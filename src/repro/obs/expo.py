@@ -1,0 +1,82 @@
+"""Prometheus text-format exposition of a registry snapshot.
+
+:func:`render` turns any :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` into the text exposition format
+standard scrapers understand: ``# HELP``/``# TYPE`` headers, one sample line
+per labelled value, and — for histograms — cumulative ``_bucket`` lines ending
+in ``le="+Inf"`` plus the ``_sum`` and ``_count`` series.  Families and
+samples come out in the snapshot's deterministic order, so the same registry
+state always renders to the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+from repro.obs.metrics import KIND_HISTOGRAM
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_number(float(bound))
+
+
+def render(snapshot: Mapping[str, Any]) -> str:
+    """The snapshot as Prometheus text exposition (trailing newline included)."""
+    lines: List[str] = []
+    for name, family in snapshot.get("families", {}).items():
+        kind = family["kind"]
+        help_text = family.get("help", "").replace("\\", "\\\\").replace("\n", "\\n")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == KIND_HISTOGRAM:
+                cumulative = 0
+                for bound, count in zip(family["bounds"], sample["buckets"]):
+                    cumulative += count
+                    label_str = _format_labels(
+                        labels, f'le="{_format_bound(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{label_str} {cumulative}")
+                cumulative += sample["buckets"][-1]
+                label_str = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{label_str} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_number(sample['sum'])}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_number(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics_file(path, snapshot: Mapping[str, Any]) -> None:
+    """Write the snapshot's exposition text to ``path`` (UTF-8)."""
+    from pathlib import Path
+
+    Path(path).write_text(render(snapshot), encoding="utf-8")

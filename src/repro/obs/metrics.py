@@ -1,0 +1,313 @@
+"""Process-local metrics: named counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds metric *families* — one per metric name —
+each of which carries labelled samples (a counter value, a gauge value, or a
+histogram's bucket counts).  The registry is thread-safe (one lock guards all
+families; the serving daemon touches it from the event loop and from executor
+callback threads) and deliberately tiny: no background threads, no global
+state, no wire protocol of its own.
+
+Two operations make it fit the stack's process-pool execution model:
+
+* :meth:`MetricsRegistry.snapshot` — a plain-dict, JSON-able view of every
+  family, with deterministically sorted samples.  Snapshots are what pool
+  workers ship back to the dispatching process, what the daemon's ``metrics``
+  RPC renders (:mod:`repro.obs.expo`), and what ``--metrics-out`` writes.
+* :meth:`MetricsRegistry.merge` — fold a snapshot into this registry:
+  counters and histogram buckets add, gauges take the incoming value.  Merging
+  the per-worker registries of an N-worker batch yields the same totals as
+  running the batch serially, which the tests assert.
+
+Observability is strictly one-way: nothing in this module ever feeds back
+into request content keys, response envelopes, journals or cached payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Histogram bucket upper bounds for request-phase latencies, in milliseconds.
+#: Warm cache hits answer in well under a millisecond, GA searches take tens
+#: of seconds — the buckets span both regimes.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+# -- the stack's metric names (one catalogue, used by every layer) ---------------
+
+#: Requests answered by a service or the daemon, by kind and cache status.
+REQUESTS_TOTAL = "repro_requests_total"
+#: Cache lookups/stores by cache name and operation (hit/miss/store).
+CACHE_OPS_TOTAL = "repro_cache_ops_total"
+#: Per-phase request latency (queue-wait, cache-lookup, schedule, simulate, store).
+REQUEST_LATENCY_MS = "repro_request_latency_ms"
+#: Daemon admission outcomes (admitted/rejected/failed).
+SERVER_REQUESTS_TOTAL = "repro_server_requests_total"
+#: Computations the daemon's dispatcher completed, by kind.
+SERVER_COMPUTED_TOTAL = "repro_server_computed_total"
+#: Requests answered by awaiting an identical in-flight computation, by kind.
+SERVER_DEDUP_TOTAL = "repro_server_dedup_total"
+#: Live queue depth of the daemon's dispatcher.
+SERVER_QUEUE_DEPTH = "repro_server_queue_depth"
+#: Open client connections on the daemon.
+SERVER_CONNECTIONS_OPEN = "repro_server_connections_open"
+#: Client connections accepted over the daemon's lifetime.
+SERVER_CONNECTIONS_TOTAL = "repro_server_connections_total"
+#: Seconds since the daemon bound its socket (set at scrape time).
+SERVER_UPTIME_SECONDS = "repro_server_uptime_seconds"
+
+
+class _Family:
+    """One metric family: a kind, a help string, label names, and samples."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "bounds", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        bounds: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.bounds = bounds
+        # Label-value tuple (in label_names order) -> sample state.  Counter
+        # and gauge state is a float; histogram state is
+        # [per-bucket counts..., overflow] + [sum, count].
+        self.samples: Dict[Tuple[str, ...], Any] = {}
+
+
+def _label_values(
+    family: _Family, labels: Mapping[str, Any]
+) -> Tuple[str, ...]:
+    if set(labels) != set(family.label_names):
+        raise ValueError(
+            f"metric {family.name!r} takes labels {sorted(family.label_names)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in family.label_names)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms.
+
+    Families are created on first access and type-checked on every later
+    access — registering ``repro_requests_total`` as a counter and later
+    asking for it as a histogram is a bug, reported as :class:`ValueError`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- family registration -----------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, tuple(labels), bounds)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if tuple(labels) and family.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} has labels {family.label_names}, not {tuple(labels)}"
+            )
+        if bounds is not None and family.bounds != bounds:
+            raise ValueError(f"metric {name!r} has different histogram buckets")
+        return family
+
+    # -- instruments -------------------------------------------------------------
+
+    def counter_inc(
+        self, name: str, amount: float = 1, *, help: str = "", **labels: Any
+    ) -> None:
+        """Add ``amount`` (>= 0) to the counter sample selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        with self._lock:
+            family = self._family(name, KIND_COUNTER, help, tuple(sorted(labels)))
+            key = _label_values(family, labels)
+            family.samples[key] = family.samples.get(key, 0) + amount
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter sample (0 when never incremented)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0
+            return family.samples.get(_label_values(family, labels), 0)
+
+    def gauge_set(
+        self, name: str, value: float, *, help: str = "", **labels: Any
+    ) -> None:
+        """Set the gauge sample selected by ``labels`` to ``value``."""
+        with self._lock:
+            family = self._family(name, KIND_GAUGE, help, tuple(sorted(labels)))
+            family.samples[_label_values(family, labels)] = value
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        """Current value of a gauge sample (0 when never set)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0
+            return family.samples.get(_label_values(family, labels), 0)
+
+    def histogram_observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+        **labels: Any,
+    ) -> None:
+        """Record one observation into the histogram selected by ``labels``."""
+        with self._lock:
+            family = self._family(
+                name, KIND_HISTOGRAM, help, tuple(sorted(labels)), tuple(buckets)
+            )
+            key = _label_values(family, labels)
+            state = family.samples.get(key)
+            if state is None:
+                state = family.samples[key] = {
+                    # Non-cumulative per-bucket counts; the last slot counts
+                    # observations above every bound (the +Inf bucket).
+                    "buckets": [0] * (len(family.bounds) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            for index, bound in enumerate(family.bounds):
+                if value <= bound:
+                    state["buckets"][index] += 1
+                    break
+            else:
+                state["buckets"][-1] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    def histogram_count(self, name: str, **labels: Any) -> int:
+        """Total observations of a histogram sample (0 when never observed)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0
+            state = family.samples.get(_label_values(family, labels))
+            return state["count"] if state is not None else 0
+
+    # -- snapshot / merge --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able view of every family, samples deterministically sorted."""
+        with self._lock:
+            families: Dict[str, Any] = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                samples: List[Dict[str, Any]] = []
+                for key in sorted(family.samples):
+                    labels = dict(zip(family.label_names, key))
+                    state = family.samples[key]
+                    if family.kind == KIND_HISTOGRAM:
+                        samples.append(
+                            {
+                                "labels": labels,
+                                "buckets": list(state["buckets"]),
+                                "sum": state["sum"],
+                                "count": state["count"],
+                            }
+                        )
+                    else:
+                        samples.append({"labels": labels, "value": state})
+                entry: Dict[str, Any] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": list(family.label_names),
+                    "samples": samples,
+                }
+                if family.bounds is not None:
+                    entry["bounds"] = list(family.bounds)
+                families[name] = entry
+            return {"families": families}
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram bucket counts add; gauges take the incoming
+        value (last write wins).  Merging the same snapshot twice therefore
+        double-counts counters — ship each worker snapshot exactly once.
+        """
+        for name, entry in snapshot.get("families", {}).items():
+            kind = entry["kind"]
+            bounds = tuple(entry["bounds"]) if "bounds" in entry else None
+            with self._lock:
+                family = self._family(
+                    name, kind, entry.get("help", ""), tuple(entry["labels"]), bounds
+                )
+                for sample in entry["samples"]:
+                    key = tuple(
+                        str(sample["labels"][label]) for label in family.label_names
+                    )
+                    if kind == KIND_HISTOGRAM:
+                        state = family.samples.get(key)
+                        if state is None:
+                            state = family.samples[key] = {
+                                "buckets": [0] * (len(family.bounds) + 1),
+                                "sum": 0.0,
+                                "count": 0,
+                            }
+                        incoming = sample["buckets"]
+                        if len(incoming) != len(state["buckets"]):
+                            raise ValueError(
+                                f"histogram {name!r} bucket count mismatch on merge"
+                            )
+                        for index, count in enumerate(incoming):
+                            state["buckets"][index] += count
+                        state["sum"] += sample["sum"]
+                        state["count"] += sample["count"]
+                    elif kind == KIND_COUNTER:
+                        family.samples[key] = family.samples.get(key, 0) + sample["value"]
+                    else:
+                        family.samples[key] = sample["value"]
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge many snapshots into one (a fresh registry folds them in order)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.snapshot()
+
+
+def observe_phases(
+    registry: MetricsRegistry, kind: str, phases: Iterable[Mapping[str, Any]]
+) -> None:
+    """Record a trace's phase breakdown into the request-latency histogram."""
+    for phase in phases:
+        registry.histogram_observe(
+            REQUEST_LATENCY_MS,
+            float(phase["duration_ms"]),
+            help="Per-phase request latency in milliseconds.",
+            kind=kind,
+            phase=str(phase["phase"]),
+        )

@@ -1,0 +1,92 @@
+"""Lightweight request tracing: per-request phase breakdowns across processes.
+
+A :class:`Trace` accumulates named *phases* — (name, duration) pairs measured
+with ``time.monotonic`` — for one request: queue-wait, cache-lookup, schedule,
+simulate, store.  The active trace travels through the call stack via a
+:mod:`contextvars` context variable, so the pure execution paths
+(:func:`~repro.service.service.execute_request`,
+:func:`~repro.runtime.service.execute_simulation`) can time their work with
+:func:`span` without growing trace parameters — and without paying anything
+when nobody is tracing: ``span`` is a no-op unless a trace is active.
+
+Across the process pool, the ``trace_id`` and the submission timestamp ship
+with the job; the worker opens a fresh trace under the same id, records the
+queue-wait it observed (``time.monotonic`` is comparable across processes on
+one machine) and returns the phase breakdown alongside the response.  Phase
+data lives only in registries and sidecars — never in response envelopes,
+content keys, journals or cached payloads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import uuid
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Phase names used across the stack (the metric label values).
+PHASE_QUEUE_WAIT = "queue-wait"
+PHASE_CACHE_LOOKUP = "cache-lookup"
+PHASE_SCHEDULE = "schedule"
+PHASE_SIMULATE = "simulate"
+PHASE_STORE = "store"
+
+_ACTIVE: ContextVar[Optional["Trace"]] = ContextVar("repro_obs_trace", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-character trace identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+class Trace:
+    """Phase accumulator for one request."""
+
+    __slots__ = ("trace_id", "phases")
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.phases: List[Dict[str, Any]] = []
+
+    def add_phase(self, name: str, duration_s: float) -> None:
+        """Append a phase (duration recorded in milliseconds, never negative)."""
+        self.phases.append(
+            {"phase": name, "duration_ms": max(0.0, duration_s) * 1000.0}
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "phases": list(self.phases)}
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active in this context, or ``None`` when nobody is tracing."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def activate(trace: Trace) -> Iterator[Trace]:
+    """Make ``trace`` the active trace for the duration of the block."""
+    token = _ACTIVE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def span(name: str) -> Iterator[Optional[Trace]]:
+    """Time the block as phase ``name`` of the active trace (no-op without one).
+
+    The trace is captured at entry, so a nested :func:`activate` inside the
+    block cannot steal the phase.
+    """
+    trace = _ACTIVE.get()
+    if trace is None:
+        yield None
+        return
+    started = time.monotonic()
+    try:
+        yield trace
+    finally:
+        trace.add_phase(name, time.monotonic() - started)

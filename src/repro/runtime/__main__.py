@@ -38,6 +38,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
+from repro.core import logging as relog
 from repro.runtime.messages import SimulationRequest
 from repro.runtime.models import (
     ExecutionModelSpec,
@@ -168,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the simulation and schedule caches' lifetime "
         "counters (entries/hits/misses/stores) to stderr after the batch",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the batch's metrics (Prometheus text exposition: request "
+        "counters, cache ops, per-phase latency histograms) to FILE",
+    )
+    relog.add_log_level_argument(parser)
     return parser
 
 
@@ -218,6 +227,7 @@ def read_requests(handle: TextIO, *, source: str) -> List[SimulationRequest]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    relog.configure_from_args(args)
     if args.list_execution_models or args.list_methods or args.list_scenarios:
         if args.list_execution_models:
             print(format_execution_model_listing())
@@ -272,6 +282,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         responses = service.submit_batch(requests)
         stats = service.stats()
         scheduling_stats = service.scheduling.stats()
+        metrics_snapshot = service.metrics()
 
     lines = "".join(response.to_json() + "\n" for response in responses)
     if args.output is None:
@@ -291,6 +302,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         print(format_cache_stats("sim cache", stats), file=sys.stderr)
         print(format_cache_stats("schedule cache", scheduling_stats), file=sys.stderr)
+    if args.metrics_out is not None:
+        from repro.obs import write_metrics_file
+
+        write_metrics_file(args.metrics_out, metrics_snapshot)
+        relog.info("metrics-written", path=args.metrics_out)
     return 0
 
 

@@ -32,6 +32,23 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.core.serialization import content_hash
 from repro.hardware.faults import FaultInjector
+from repro.obs.metrics import (
+    REQUESTS_TOTAL,
+    MetricsRegistry,
+    merge_snapshots,
+    observe_phases,
+)
+from repro.obs.trace import (
+    PHASE_CACHE_LOOKUP,
+    PHASE_QUEUE_WAIT,
+    PHASE_SCHEDULE,
+    PHASE_SIMULATE,
+    PHASE_STORE,
+    Trace,
+    activate,
+    new_trace_id,
+    span,
+)
 from repro.runtime.messages import SimulationRequest, SimulationResponse
 from repro.runtime.models import ExecutionOutcome
 from repro.scenario import build_platform, materialize
@@ -62,12 +79,15 @@ class SimulationCache(ScheduleCache):
     versa) even when the two caches share a directory — or one SQLite file.
     """
 
-    def __init__(self, directory=None, *, backend=None):
+    METRICS_LABEL = "simulation"
+
+    def __init__(self, directory=None, *, backend=None, metrics=None):
         super().__init__(
             directory,
             backend=backend,
             kind=SIM_CACHE_ENTRY_KIND,
             version=SIM_CACHE_ENTRY_VERSION,
+            metrics=metrics,
         )
 
 
@@ -148,7 +168,12 @@ def execute_simulation(
     if schedule_response is None:
         schedule_request = request.schedule_request()
         if scheduling is not None:
-            schedule_response = scheduling.submit(schedule_request)
+            # The scheduling service traces its own batch internally; the
+            # span records the whole schedule-obtaining phase on *this*
+            # request's trace.  The bare execute_request path records its own
+            # schedule span, so either way the trace carries exactly one.
+            with span(PHASE_SCHEDULE):
+                schedule_response = scheduling.submit(schedule_request)
         else:
             schedule_response = execute_request(schedule_request)
 
@@ -157,26 +182,30 @@ def execute_simulation(
             request, schedule_response, time.perf_counter() - start
         )
 
-    # A fresh platform per execution: simulation objects are stateful.  With
-    # an explicit workload only the platform and faults come from the
-    # scenario; otherwise the whole triple is materialised deterministically.
-    if request.task_set is not None:
-        task_set = request.task_set
-        platform = build_platform(
-            request.scenario.platform,
-            fault_injector=FaultInjector(list(request.scenario.faults.faults)),
-        )
-    else:
-        materialized = materialize(request.scenario, request.system_index)
-        task_set = materialized.task_set
-        platform = materialized.platform
+    with span(PHASE_SIMULATE):
+        # A fresh platform per execution: simulation objects are stateful.
+        # With an explicit workload only the platform and faults come from
+        # the scenario; otherwise the whole triple is materialised
+        # deterministically.
+        if request.task_set is not None:
+            task_set = request.task_set
+            platform = build_platform(
+                request.scenario.platform,
+                fault_injector=FaultInjector(list(request.scenario.faults.faults)),
+            )
+        else:
+            materialized = materialize(request.scenario, request.system_index)
+            task_set = materialized.task_set
+            platform = materialized.platform
 
-    schedules = schedule_response.device_schedules(task_set)
-    seed = request.seed if request.seed is not None else derive_execution_seed(request)
-    model = request.execution_model.resolve()
-    outcome = model.execute(
-        task_set, schedules, platform, seed=seed, max_events=request.max_events
-    )
+        schedules = schedule_response.device_schedules(task_set)
+        seed = (
+            request.seed if request.seed is not None else derive_execution_seed(request)
+        )
+        model = request.execution_model.resolve()
+        outcome = model.execute(
+            task_set, schedules, platform, seed=seed, max_events=request.max_events
+        )
 
     return SimulationResponse(
         request_id=request.request_id,
@@ -232,6 +261,36 @@ def execute_simulation_job(
             return execute_simulation(request, scheduling=scheduling)
     finally:
         cache.close()
+
+
+def execute_simulation_job_observed(
+    args: Tuple[
+        SimulationRequest,
+        Optional[str],
+        Optional[Dict[str, object]],
+        Optional[str],
+        Optional[float],
+    ],
+) -> Tuple[SimulationResponse, Dict[str, object], Dict[str, object]]:
+    """Pool-worker entry: :func:`execute_simulation_job` under trace + registry.
+
+    ``args`` extends the :func:`execute_simulation_job` triple with
+    ``(trace_id, submitted_monotonic)``; the worker records the queue-wait it
+    observed and ships back ``(response, trace_dict, registry_snapshot)``.
+    The response is untouched — answers stay byte-identical with or without
+    observation.
+    """
+    request, schedule_backend_spec, cached_schedule, trace_id, submitted = args
+    registry = MetricsRegistry()
+    trace = Trace(trace_id)
+    if submitted is not None:
+        trace.add_phase(PHASE_QUEUE_WAIT, time.monotonic() - submitted)
+    with activate(trace):
+        response = execute_simulation_job(
+            (request, schedule_backend_spec, cached_schedule)
+        )
+    observe_phases(registry, "simulation", trace.phases)
+    return response, trace.to_dict(), registry.snapshot()
 
 
 _CACHE_DEFAULT = object()
@@ -314,16 +373,21 @@ class SimulationService:
                 "pass either cache_backend or schedule_cache_dir, not both"
             )
         self.n_workers = n_workers
+        #: This service's metrics: request counters, per-phase latency
+        #: histograms and — for caches the service creates itself — the cache
+        #: operation counters.  :meth:`metrics` merges in the registries of a
+        #: separately created cache and of the scheduling service.
+        self.registry = MetricsRegistry()
         self._owns_cache = False
         if cache_backend is not None:
             from repro.store import simulation_backend
 
             self.cache: Optional[SimulationCache] = SimulationCache(
-                backend=simulation_backend(cache_backend)
+                backend=simulation_backend(cache_backend), metrics=self.registry
             )
             self._owns_cache = isinstance(cache_backend, str)
         elif cache is _CACHE_DEFAULT:
-            self.cache = SimulationCache(cache_dir)
+            self.cache = SimulationCache(cache_dir, metrics=self.registry)
         else:
             self.cache = cache  # type: ignore[assignment]
         if scheduling is not None:
@@ -339,6 +403,9 @@ class SimulationService:
         self._owns_executor = executor is None
         #: Requests actually simulated (cache misses) over this service's lifetime.
         self.computed = 0
+        #: Phase breakdowns of the most recent :meth:`submit_batch`, one
+        #: ``{"trace_id", "phases"}`` dict per request in request order.
+        self.last_traces: List[Dict[str, object]] = []
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -393,6 +460,36 @@ class SimulationService:
             execute_simulation_job, (request, self._schedule_backend_spec(), cached)
         )
 
+    def execute_in_pool_observed(
+        self, request: SimulationRequest
+    ) -> "Future[Tuple[SimulationResponse, Dict[str, object], Dict[str, object]]]":
+        """Like :meth:`execute_in_pool`, but through the observed worker entry.
+
+        The future resolves to ``(response, trace_dict, registry_snapshot)``;
+        the serving daemon's dispatcher merges the snapshot into its registry
+        and keeps the phase breakdown.  The response is identical to
+        :meth:`execute_in_pool`'s.
+        """
+        schedule_cache = self.scheduling.cache
+        cached = (
+            schedule_cache.peek(request.schedule_request().content_key())
+            if schedule_cache is not None
+            else None
+        )
+        return self._get_executor().submit(
+            execute_simulation_job_observed,
+            (
+                request,
+                self._schedule_backend_spec(),
+                cached,
+                new_trace_id(),
+                time.monotonic(),
+            ),
+        )
+
+    #: Value of the ``kind`` label on this service's registry metrics.
+    METRICS_KIND = "simulation"
+
     def submit_batch(
         self, requests: Iterable[SimulationRequest]
     ) -> List[SimulationResponse]:
@@ -401,15 +498,23 @@ class SimulationService:
         Cached and duplicate requests are not recomputed: every distinct
         content key in the batch is simulated at most once, and each
         response's ``cache`` field records what happened
-        (``hit``/``miss``/``disabled``).
+        (``hit``/``miss``/``disabled``).  Per-request phase breakdowns land
+        in :attr:`last_traces` and the phase latency histograms of
+        :attr:`registry`; responses carry none of it.
         """
         requests = list(requests)
         responses: List[Optional[SimulationResponse]] = [None] * len(requests)
         keys = [request.content_key() for request in requests]
+        traces = [Trace() for _ in requests]
+        kind = self.METRICS_KIND
 
         pending: Dict[str, List[int]] = {}
         for position, (request, key) in enumerate(zip(requests, keys)):
+            lookup_started = time.monotonic()
             cached = self.cache.get(key) if self.cache is not None else None
+            trace = traces[position]
+            trace.add_phase(PHASE_CACHE_LOOKUP, time.monotonic() - lookup_started)
+            observe_phases(self.registry, kind, trace.phases[-1:])
             if cached is not None:
                 responses[position] = SimulationResponse.from_result_dict(
                     cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
@@ -418,13 +523,20 @@ class SimulationService:
                 pending.setdefault(key, []).append(position)
 
         computed = self._execute_unique(
-            [(key, requests[positions[0]]) for key, positions in pending.items()]
+            [
+                (key, requests[positions[0]], traces[positions[0]])
+                for key, positions in pending.items()
+            ]
         )
 
         for key, positions in pending.items():
             base = computed[key]
             if self.cache is not None:
+                leader_trace = traces[positions[0]]
+                store_started = time.monotonic()
                 self.cache.put(key, base.result_dict())
+                leader_trace.add_phase(PHASE_STORE, time.monotonic() - store_started)
+                observe_phases(self.registry, kind, leader_trace.phases[-1:])
             for occurrence, position in enumerate(positions):
                 if self.cache is None:
                     status = CACHE_DISABLED
@@ -436,24 +548,37 @@ class SimulationService:
                     cache=status,
                     cache_key=key,
                 )
+        for response in responses:
+            if response is not None:
+                self.registry.counter_inc(
+                    REQUESTS_TOTAL,
+                    help="Requests answered, by kind and cache status.",
+                    kind=kind,
+                    cache=response.cache,
+                )
+        self.last_traces = [trace.to_dict() for trace in traces]
         return [response for response in responses if response is not None]
 
-    def _execute_unique(
-        self, work: Sequence[Tuple[str, SimulationRequest]]
-    ) -> Dict[str, SimulationResponse]:
+    def _execute_unique(self, work) -> Dict[str, SimulationResponse]:
+        """Simulate one request per distinct content key; phases land on the
+        leader's trace (``work`` is ``(key, request, trace)`` triples)."""
         if not work:
             return {}
-        requests = [request for _, request in work]
-        if self.n_workers == 1 or len(requests) == 1:
-            results = [
-                execute_simulation(request, scheduling=self.scheduling)
-                for request in requests
-            ]
+        if self.n_workers == 1 or len(work) == 1:
+            results = []
+            for _, request, trace in work:
+                before = len(trace.phases)
+                with activate(trace):
+                    results.append(
+                        execute_simulation(request, scheduling=self.scheduling)
+                    )
+                observe_phases(self.registry, self.METRICS_KIND, trace.phases[before:])
         else:
             schedule_backend_spec = self._schedule_backend_spec()
             schedule_cache = self.scheduling.cache
+            submitted = time.monotonic()
             jobs = []
-            for request in requests:
+            for _, request, trace in work:
                 # Schedules the dispatching service already holds (e.g. the
                 # ones a campaign's schedule cells just computed) ship with
                 # the job, so workers never recompute them — even when the
@@ -463,15 +588,23 @@ class SimulationService:
                     if schedule_cache is not None
                     else None
                 )
-                jobs.append((request, schedule_backend_spec, cached))
-            chunksize = max(1, len(requests) // (self.n_workers * 4))
-            results = list(
-                self._get_executor().map(
-                    execute_simulation_job, jobs, chunksize=chunksize
+                jobs.append(
+                    (request, schedule_backend_spec, cached, trace.trace_id, submitted)
                 )
+            chunksize = max(1, len(jobs) // (self.n_workers * 4))
+            outcomes = self._get_executor().map(
+                execute_simulation_job_observed, jobs, chunksize=chunksize
             )
+            results = []
+            for (_, _, trace), (response, trace_dict, snapshot) in zip(work, outcomes):
+                # The worker already observed its phases into the shipped
+                # snapshot; merging it here is what makes pooled totals equal
+                # serial totals.
+                self.registry.merge(snapshot)
+                trace.phases.extend(trace_dict["phases"])
+                results.append(response)
         self.computed += len(results)
-        return {key: result for (key, _), result in zip(work, results)}
+        return {key: result for (key, _, _), result in zip(work, results)}
 
     # -- introspection -----------------------------------------------------------
 
@@ -493,3 +626,20 @@ class SimulationService:
                 cache_backend=cache_stats["backend"],
             )
         return stats
+
+    def metrics_registries(self) -> List[MetricsRegistry]:
+        """Every distinct registry this service's metrics live on (including
+        the scheduling service it obtains offline schedules through)."""
+        registries = [self.registry]
+        if self.cache is not None and self.cache.registry is not self.registry:
+            registries.append(self.cache.registry)
+        for registry in self.scheduling.metrics_registries():
+            if all(registry is not existing for existing in registries):
+                registries.append(registry)
+        return registries
+
+    def metrics(self) -> Dict[str, object]:
+        """Merged snapshot of this service's metrics (counters + histograms)."""
+        return merge_snapshots(
+            registry.snapshot() for registry in self.metrics_registries()
+        )

@@ -14,9 +14,11 @@ same declarative ``--scenario`` mode as ``python -m repro.service``::
     python -m repro.server request --server 127.0.0.1:7341 \
         --scenario faulty-controller --systems 3 --methods static gpiocp
 
-``stats``, ``health`` and ``shutdown`` are one-shot ops against a daemon::
+``stats``, ``health``, ``metrics`` and ``shutdown`` are one-shot ops against
+a daemon (``metrics`` prints Prometheus text exposition, the rest JSON)::
 
     python -m repro.server stats --server 127.0.0.1:7341
+    python -m repro.server metrics --server 127.0.0.1:7341
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import signal
 import sys
 from typing import Any, Dict, List, Optional, Sequence, TextIO
 
+from repro.core import logging as relog
 from repro.server.client import ServerClient, parse_address
 from repro.server.daemon import DEFAULT_HOST, ReproServer
 from repro.server.dispatcher import DEFAULT_MAX_QUEUE
@@ -103,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the wire-level shutdown op (signals still work)",
     )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the final metrics (Prometheus text exposition) to FILE "
+        "when the daemon stops",
+    )
+    relog.add_log_level_argument(serve, default="info")
 
     request = commands.add_parser(
         "request",
@@ -154,13 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests kept in flight on the connection (default: 32)",
     )
 
+    relog.add_log_level_argument(request)
+
     for name, help_text in (
         ("stats", "print a running daemon's live statistics as JSON"),
         ("health", "print a running daemon's health summary as JSON"),
+        ("metrics", "print a running daemon's metrics as Prometheus text"),
         ("shutdown", "ask a running daemon to drain and exit"),
     ):
         command = commands.add_parser(name, help=help_text)
         _add_server_argument(command)
+        relog.add_log_level_argument(command)
     return parser
 
 
@@ -199,17 +214,22 @@ def serve_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(signal_number, server.request_shutdown)
         await server.start()
-        print(
-            f"serving on {server.host}:{server.port} "
-            f"(workers={args.workers}, "
-            f"cache={args.cache_backend or args.cache_dir or 'memory'})",
-            file=sys.stderr,
-            flush=True,
+        relog.info(
+            "server-started",
+            host=server.host,
+            port=server.port,
+            workers=args.workers,
+            cache=args.cache_backend or args.cache_dir or "memory",
         )
         await server.run()
 
     asyncio.run(run())
-    print("server stopped", file=sys.stderr)
+    if args.metrics_out is not None:
+        from repro.obs.expo import write_metrics_file
+
+        write_metrics_file(args.metrics_out, server.metrics_snapshot())
+        relog.info("metrics-written", path=args.metrics_out)
+    relog.info("server-stopped")
     return 0
 
 
@@ -274,13 +294,19 @@ def one_shot_main(args: argparse.Namespace) -> int:
     host, port = parse_address(args.server)
     with ServerClient(host, port) as client:
         payload = client.call(args.command)
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.command == "metrics":
+        # The payload wraps Prometheus text exposition; print it raw so the
+        # output pipes straight into scrape tooling.
+        sys.stdout.write(payload["text"])
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    relog.configure_from_args(args)
     if args.command == "serve":
         return serve_main(args, parser)
     if args.command == "request":

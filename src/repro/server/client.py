@@ -36,6 +36,7 @@ from repro.runtime.messages import (
 from repro.server.protocol import (
     ERR_OVERLOADED,
     OP_HEALTH,
+    OP_METRICS,
     OP_SCHEDULE,
     OP_SHUTDOWN,
     OP_SIMULATE,
@@ -243,6 +244,10 @@ class ServerClient:
     def health(self) -> Dict[str, Any]:
         return self.call(OP_HEALTH)
 
+    def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return self.call(OP_METRICS)["text"]
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to drain and exit (requires remote shutdown enabled)."""
         return self.call(OP_SHUTDOWN)
@@ -358,6 +363,10 @@ class AsyncServerClient:
 
     async def health(self) -> Dict[str, Any]:
         return await self.call(OP_HEALTH)
+
+    async def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return (await self.call(OP_METRICS))["text"]
 
     async def shutdown(self) -> Dict[str, Any]:
         return await self.call(OP_SHUTDOWN)

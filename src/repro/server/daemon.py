@@ -37,6 +37,15 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.core.serialization import PayloadVersionError
+from repro.obs.expo import render
+from repro.obs.metrics import (
+    SERVER_CONNECTIONS_OPEN,
+    SERVER_CONNECTIONS_TOTAL,
+    SERVER_QUEUE_DEPTH,
+    SERVER_UPTIME_SECONDS,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.runtime.messages import SimulationRequest
 from repro.runtime.service import (
     SCHEDULE_CACHE_SUBDIR,
@@ -58,6 +67,7 @@ from repro.server.protocol import (
     ERR_SHUTTING_DOWN,
     ERR_VERSION_MISMATCH,
     OP_HEALTH,
+    OP_METRICS,
     OP_SCHEDULE,
     OP_SHUTDOWN,
     OP_SIMULATE,
@@ -158,8 +168,15 @@ class ReproServer:
             )
         self.scheduling = scheduling
         self.simulation = simulation
+        #: The daemon's own registry: dispatcher counters, worker-shipped
+        #: phase histograms, and the scrape-time server gauges.  The
+        #: ``metrics`` RPC merges it with the services' registries.
+        self.registry = MetricsRegistry()
         self.dispatcher = Dispatcher(
-            scheduling=self.scheduling, simulation=self.simulation, max_queue=max_queue
+            scheduling=self.scheduling,
+            simulation=self.simulation,
+            max_queue=max_queue,
+            metrics=self.registry,
         )
         self.protocol_errors = 0
         self.connections_total = 0
@@ -329,6 +346,8 @@ class ReproServer:
                 return encode_response(op, tag, self.stats())
             if op == OP_HEALTH:
                 return encode_response(op, tag, self.health())
+            if op == OP_METRICS:
+                return encode_response(op, tag, {"text": self.metrics_text()})
             assert op == OP_SHUTDOWN
             if not self.allow_remote_shutdown:
                 self.protocol_errors += 1
@@ -384,6 +403,50 @@ class ReproServer:
             },
             **self.dispatcher.stats(),
         }
+
+    def metrics_registries(self) -> "list[MetricsRegistry]":
+        """Every distinct registry behind this daemon, deduplicated by identity.
+
+        The dispatcher shares :attr:`registry`; the two services contribute
+        their own (and their caches', and the shared scheduling service's) —
+        each exactly once, so merging can never double-count.
+        """
+        registries = [self.registry]
+        for service in (self.scheduling, self.simulation):
+            for registry in service.metrics_registries():
+                if all(registry is not existing for existing in registries):
+                    registries.append(registry)
+        return registries
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One merged snapshot of everything, server gauges set at scrape time."""
+        self.registry.gauge_set(
+            SERVER_UPTIME_SECONDS,
+            self.uptime_s(),
+            help="Seconds since the daemon bound its socket.",
+        )
+        self.registry.gauge_set(
+            SERVER_QUEUE_DEPTH,
+            self.dispatcher.queue_depth,
+            help="Computations currently queued or running.",
+        )
+        self.registry.gauge_set(
+            SERVER_CONNECTIONS_OPEN,
+            self._connections_open,
+            help="Open client connections.",
+        )
+        self.registry.gauge_set(
+            SERVER_CONNECTIONS_TOTAL,
+            self.connections_total,
+            help="Client connections accepted over the daemon's lifetime.",
+        )
+        return merge_snapshots(
+            registry.snapshot() for registry in self.metrics_registries()
+        )
+
+    def metrics_text(self) -> str:
+        """The ``metrics`` op's payload: Prometheus text exposition."""
+        return render(self.metrics_snapshot())
 
 
 def _parse_payload(request_cls, payload, *, tag: Optional[str]):

@@ -2,11 +2,12 @@
 
 The dispatcher is the daemon's policy layer between the wire and the warm
 services.  For every admitted request it runs exactly the same pure execution
-path as the batch CLIs (:meth:`SchedulingService.execute_in_pool
-<repro.service.SchedulingService.execute_in_pool>` /
-:meth:`SimulationService.execute_in_pool
-<repro.runtime.SimulationService.execute_in_pool>` on the shared worker
-pool), and layers three serving-only behaviours on top:
+path as the batch CLIs (the services' observed pool entries,
+:meth:`SchedulingService.execute_in_pool_observed
+<repro.service.SchedulingService.execute_in_pool_observed>` /
+:meth:`SimulationService.execute_in_pool_observed
+<repro.runtime.SimulationService.execute_in_pool_observed>` on the shared
+worker pool), and layers three serving-only behaviours on top:
 
 * **admission control** — at most ``max_queue`` computations may be queued or
   running at once; a request that would exceed the bound is rejected with
@@ -23,8 +24,16 @@ pool), and layers three serving-only behaviours on top:
   :class:`Draining` while everything already in flight runs to completion,
   which is what makes the daemon's shutdown graceful.
 
-Everything is content-addressed and pure, so admission/dedup/caching can
-never change an answer — only how much work producing it costs.
+Every counter lives on the dispatcher's :class:`~repro.obs.MetricsRegistry`
+(``repro_server_requests_total``, ``repro_server_computed_total``,
+``repro_server_dedup_total``, ``repro_requests_total`` and the phase latency
+histograms); :meth:`stats` reads the same registry, so the ``stats`` RPC and
+the ``metrics`` RPC can never disagree.  Pool workers ship their own registry
+snapshots back with each result and the dispatcher merges them in.
+
+Everything is content-addressed and pure, so admission/dedup/caching —
+and observation — can never change an answer, only how much work producing
+it costs.
 """
 
 from __future__ import annotations
@@ -34,6 +43,15 @@ import time
 from dataclasses import replace
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from repro.obs.metrics import (
+    REQUEST_LATENCY_MS,
+    REQUESTS_TOTAL,
+    SERVER_COMPUTED_TOTAL,
+    SERVER_DEDUP_TOTAL,
+    SERVER_REQUESTS_TOTAL,
+    MetricsRegistry,
+)
+from repro.obs.trace import PHASE_CACHE_LOOKUP, PHASE_STORE
 from repro.runtime.messages import SimulationRequest, SimulationResponse
 from repro.runtime.service import SimulationService
 from repro.service.messages import (
@@ -53,6 +71,12 @@ KIND_SCHEDULE = "schedule"
 KIND_SIMULATION = "simulation"
 
 Response = Union[ScheduleResponse, SimulationResponse]
+
+_ADMISSION_HELP = "Daemon admission outcomes (admitted/rejected/failed)."
+_COMPUTED_HELP = "Computations completed by the daemon's dispatcher, by kind."
+_DEDUP_HELP = "Requests answered by awaiting an identical in-flight computation."
+_REQUESTS_HELP = "Requests answered, by kind and cache status."
+_LATENCY_HELP = "Per-phase request latency in milliseconds."
 
 
 class Overloaded(Exception):
@@ -76,6 +100,7 @@ class Dispatcher:
         scheduling: SchedulingService,
         simulation: SimulationService,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not isinstance(max_queue, int) or max_queue < 1:
             raise ValueError(f"max_queue must be a positive integer, got {max_queue!r}")
@@ -86,15 +111,50 @@ class Dispatcher:
         #: Content keys currently being computed -> the future their waiters share.
         self._inflight: Dict[Tuple[str, str], "asyncio.Future[Response]"] = {}
         self._active = 0
-        self.admitted = 0
-        self.rejected = 0
-        self.failed = 0
-        self._kind_counters = {
-            KIND_SCHEDULE: {"computed": 0, "in_flight_dedup": 0},
-            KIND_SIMULATION: {"computed": 0, "in_flight_dedup": 0},
-        }
+        #: All dispatcher counters and phase histograms live here (the daemon
+        #: passes its own registry so one scrape covers everything).
+        self.registry = metrics if metrics is not None else MetricsRegistry()
         # EWMA of observed compute seconds, seeding the retry-after hint.
         self._avg_compute_s = 0.1
+
+    # -- counters (the registry is the one source of truth) ----------------------
+
+    def _count_admission(self, result: str) -> None:
+        self.registry.counter_inc(
+            SERVER_REQUESTS_TOTAL, help=_ADMISSION_HELP, result=result
+        )
+
+    def _count_request(self, kind: str, cache: str) -> None:
+        self.registry.counter_inc(
+            REQUESTS_TOTAL, help=_REQUESTS_HELP, kind=kind, cache=cache
+        )
+
+    def _observe_phase(self, kind: str, phase: str, duration_s: float) -> None:
+        self.registry.histogram_observe(
+            REQUEST_LATENCY_MS,
+            max(0.0, duration_s) * 1000.0,
+            help=_LATENCY_HELP,
+            kind=kind,
+            phase=phase,
+        )
+
+    @property
+    def admitted(self) -> int:
+        return int(self.registry.counter_value(SERVER_REQUESTS_TOTAL, result="admitted"))
+
+    @property
+    def rejected(self) -> int:
+        return int(self.registry.counter_value(SERVER_REQUESTS_TOTAL, result="rejected"))
+
+    @property
+    def failed(self) -> int:
+        return int(self.registry.counter_value(SERVER_REQUESTS_TOTAL, result="failed"))
+
+    def computed(self, kind: str) -> int:
+        return int(self.registry.counter_value(SERVER_COMPUTED_TOTAL, kind=kind))
+
+    def deduped(self, kind: str) -> int:
+        return int(self.registry.counter_value(SERVER_DEDUP_TOTAL, kind=kind))
 
     # -- the API -----------------------------------------------------------------
 
@@ -104,7 +164,7 @@ class Dispatcher:
             KIND_SCHEDULE,
             request.content_key(),
             self.scheduling.cache,
-            lambda: self.scheduling.execute_in_pool(request),
+            lambda: self._submit(self.scheduling, request),
             request.request_id,
             ScheduleResponse,
         )
@@ -115,10 +175,23 @@ class Dispatcher:
             KIND_SIMULATION,
             request.content_key(),
             self.simulation.cache,
-            lambda: self.simulation.execute_in_pool(request),
+            lambda: self._submit(self.simulation, request),
             request.request_id,
             SimulationResponse,
         )
+
+    @staticmethod
+    def _submit(service, request):
+        """Submit through the observed pool entry when the service has one.
+
+        Test stubs (and any duck-typed service) that only implement
+        ``execute_in_pool`` keep working: :meth:`_compute` accepts both the
+        bare response and the observed ``(response, trace, snapshot)`` triple.
+        """
+        observed = getattr(service, "execute_in_pool_observed", None)
+        if observed is not None:
+            return observed(request)
+        return service.execute_in_pool(request)
 
     async def _dispatch(
         self,
@@ -130,8 +203,13 @@ class Dispatcher:
         response_cls,
     ) -> Response:
         if cache is not None:
+            lookup_started = time.monotonic()
             cached = cache.get(key)
+            self._observe_phase(
+                kind, PHASE_CACHE_LOOKUP, time.monotonic() - lookup_started
+            )
             if cached is not None:
+                self._count_request(kind, CACHE_HIT)
                 return response_cls.from_result_dict(
                     cached, request_id=request_id, cache=CACHE_HIT, cache_key=key
                 )
@@ -142,21 +220,22 @@ class Dispatcher:
             # Same content, already being computed for someone else: await the
             # shared future (shielded — one waiter's cancellation must not
             # cancel the computation out from under the others).
-            self._kind_counters[kind]["in_flight_dedup"] += 1
+            self.registry.counter_inc(SERVER_DEDUP_TOTAL, help=_DEDUP_HELP, kind=kind)
             result = await asyncio.shield(existing)
+            self._count_request(kind, CACHE_HIT)
             return replace(result, request_id=request_id, cache=CACHE_HIT, cache_key=key)
 
         if self.draining:
             raise Draining("daemon is draining; no new work admitted")
         if self._active >= self.max_queue:
-            self.rejected += 1
+            self._count_admission("rejected")
             raise Overloaded(self.retry_after_s())
 
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Response]" = loop.create_future()
         self._inflight[token] = future
         self._active += 1
-        self.admitted += 1
+        self._count_admission("admitted")
         # The computation runs as its own task, decoupled from this request's:
         # a client that disconnects mid-compute (cancelling its handler task)
         # must not tear down work that other waiters — or the cache — still
@@ -164,6 +243,7 @@ class Dispatcher:
         loop.create_task(self._compute(kind, token, cache, submit, future))
         result = await asyncio.shield(future)
         status = CACHE_MISS if cache is not None else CACHE_DISABLED
+        self._count_request(kind, status)
         return replace(result, request_id=request_id, cache=status, cache_key=key)
 
     async def _compute(
@@ -176,12 +256,19 @@ class Dispatcher:
     ) -> None:
         started = time.perf_counter()
         try:
-            result = await asyncio.wrap_future(submit())
+            outcome = await asyncio.wrap_future(submit())
         except BaseException as error:
-            self.failed += 1
+            self._count_admission("failed")
             future.set_exception(error)
             future.exception()  # waiters re-raise on their own await
         else:
+            if isinstance(outcome, tuple):
+                # Observed pool entry: the worker's registry snapshot merges
+                # into ours (phase histograms, queue-wait included).
+                result, _trace, snapshot = outcome
+                self.registry.merge(snapshot)
+            else:
+                result = outcome
             self._avg_compute_s += 0.2 * (
                 (time.perf_counter() - started) - self._avg_compute_s
             )
@@ -189,8 +276,14 @@ class Dispatcher:
                 # Populate the cache *before* dropping the in-flight token:
                 # an identical request arriving in between must find one of
                 # the two, never a gap that would recompute.
+                store_started = time.monotonic()
                 cache.put(token[1], result.result_dict())
-            self._kind_counters[kind]["computed"] += 1
+                self._observe_phase(
+                    kind, PHASE_STORE, time.monotonic() - store_started
+                )
+            self.registry.counter_inc(
+                SERVER_COMPUTED_TOTAL, help=_COMPUTED_HELP, kind=kind
+            )
             future.set_result(result)
         finally:
             del self._inflight[token]
@@ -219,7 +312,11 @@ class Dispatcher:
         return self._active
 
     def stats(self) -> Dict[str, Any]:
-        """Live snapshot: queue, admission counters, per-kind compute + caches."""
+        """Live snapshot: queue, admission counters, per-kind compute + caches.
+
+        Every number is read off :attr:`registry` — the same source the
+        ``metrics`` RPC renders.
+        """
         schedule_cache = self.scheduling.cache
         sim_cache = self.simulation.cache
         return {
@@ -228,17 +325,17 @@ class Dispatcher:
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "failed": self.failed,
-                "in_flight_dedup": sum(
-                    counters["in_flight_dedup"]
-                    for counters in self._kind_counters.values()
-                ),
+                "in_flight_dedup": self.deduped(KIND_SCHEDULE)
+                + self.deduped(KIND_SIMULATION),
             },
             KIND_SCHEDULE: {
-                **self._kind_counters[KIND_SCHEDULE],
+                "computed": self.computed(KIND_SCHEDULE),
+                "in_flight_dedup": self.deduped(KIND_SCHEDULE),
                 "cache": schedule_cache.stats() if schedule_cache is not None else None,
             },
             KIND_SIMULATION: {
-                **self._kind_counters[KIND_SIMULATION],
+                "computed": self.computed(KIND_SIMULATION),
+                "in_flight_dedup": self.deduped(KIND_SIMULATION),
                 "cache": sim_cache.stats() if sim_cache is not None else None,
             },
         }

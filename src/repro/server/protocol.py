@@ -59,8 +59,9 @@ OP_SCHEDULE = "schedule"
 OP_SIMULATE = "simulate"
 OP_STATS = "stats"
 OP_HEALTH = "health"
+OP_METRICS = "metrics"
 OP_SHUTDOWN = "shutdown"
-OPS = (OP_SCHEDULE, OP_SIMULATE, OP_STATS, OP_HEALTH, OP_SHUTDOWN)
+OPS = (OP_SCHEDULE, OP_SIMULATE, OP_STATS, OP_HEALTH, OP_METRICS, OP_SHUTDOWN)
 
 #: Ops that must carry a request payload.
 PAYLOAD_OPS = (OP_SCHEDULE, OP_SIMULATE)

@@ -34,6 +34,7 @@ import json
 import sys
 from typing import List, Optional, Sequence, TextIO
 
+from repro.core import logging as relog
 from repro.core.profiling import DEFAULT_PROFILE_PATH, maybe_profile
 from repro.scenario import create_scenario, format_scenario_listing
 from repro.scheduling import format_scheduler_listing
@@ -149,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: {DEFAULT_PROFILE_PATH}) and print the top-20 cumulative "
         "summary to stderr",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the batch's metrics (Prometheus text exposition: request "
+        "counters, cache ops, per-phase latency histograms) to FILE",
+    )
+    relog.add_log_level_argument(parser)
     return parser
 
 
@@ -201,6 +210,7 @@ def read_requests(handle: TextIO, *, source: str) -> List[ScheduleRequest]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    relog.configure_from_args(args)
     if args.list_methods or args.list_scenarios or args.list_execution_models:
         if args.list_methods:
             print(format_scheduler_listing())
@@ -254,6 +264,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with service:
             responses = service.submit_batch(requests)
             stats = service.stats()
+            metrics_snapshot = service.metrics()
 
     lines = "".join(response.to_json() + "\n" for response in responses)
     if args.output is None:
@@ -270,6 +281,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if args.verbose:
         print(format_cache_stats("schedule cache", stats), file=sys.stderr)
+    if args.metrics_out is not None:
+        from repro.obs import write_metrics_file
+
+        write_metrics_file(args.metrics_out, metrics_snapshot)
+        relog.info("metrics-written", path=args.metrics_out)
     return 0
 
 

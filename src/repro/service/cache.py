@@ -36,10 +36,13 @@ from repro.core.serialization import (
     parse_versioned_payload,
     versioned_payload,
 )
+from repro.obs.metrics import CACHE_OPS_TOTAL, MetricsRegistry
 from repro.store.backends import CacheBackend, DirectoryBackend
 
 CACHE_ENTRY_KIND = "repro/schedule-cache-entry"
 CACHE_ENTRY_VERSION = 1
+
+_CACHE_OPS_HELP = "Cache lookups and stores by cache name and operation."
 
 
 class ScheduleCache:
@@ -53,6 +56,9 @@ class ScheduleCache:
     what the SQLite backend does: one file, entries told apart by kind).
     """
 
+    #: Value of the ``cache`` label on this cache's registry counters.
+    METRICS_LABEL = "schedule"
+
     def __init__(
         self,
         directory: Optional[Union[str, Path]] = None,
@@ -60,6 +66,7 @@ class ScheduleCache:
         backend: Optional[CacheBackend] = None,
         kind: str = CACHE_ENTRY_KIND,
         version: int = CACHE_ENTRY_VERSION,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if directory is not None and backend is not None:
             raise ValueError("pass either directory or backend, not both")
@@ -75,10 +82,46 @@ class ScheduleCache:
         )
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
-        #: Lookup/store statistics over this cache's lifetime.
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+        #: The one source of lookup/store statistics over this cache's
+        #: lifetime: ``repro_cache_ops_total{cache=<label>, op=hit|miss|store}``
+        #: on this registry.  Pass a shared registry to aggregate several
+        #: caches (and their service) into one scrape.
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+
+    def _count_op(self, op: str) -> None:
+        self.registry.counter_inc(
+            CACHE_OPS_TOTAL,
+            help=_CACHE_OPS_HELP,
+            cache=self.METRICS_LABEL,
+            op=op,
+        )
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache (reads the registry counter)."""
+        return int(
+            self.registry.counter_value(
+                CACHE_OPS_TOTAL, cache=self.METRICS_LABEL, op="hit"
+            )
+        )
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing (reads the registry counter)."""
+        return int(
+            self.registry.counter_value(
+                CACHE_OPS_TOTAL, cache=self.METRICS_LABEL, op="miss"
+            )
+        )
+
+    @property
+    def stores(self) -> int:
+        """Entries stored (reads the registry counter)."""
+        return int(
+            self.registry.counter_value(
+                CACHE_OPS_TOTAL, cache=self.METRICS_LABEL, op="store"
+            )
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,11 +148,7 @@ class ScheduleCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored result for ``key``, or ``None`` on a miss."""
         entry = self.peek(key)
-        with self._lock:
-            if entry is None:
-                self.misses += 1
-            else:
-                self.hits += 1
+        self._count_op("miss" if entry is None else "hit")
         return entry
 
     def put(self, key: str, result: Dict[str, Any]) -> None:
@@ -118,7 +157,7 @@ class ScheduleCache:
             if key in self._entries:
                 return
             self._entries[key] = result
-            self.stores += 1
+        self._count_op("store")
         if self.backend is not None:
             self._persist(key, result)
 
@@ -134,14 +173,13 @@ class ScheduleCache:
         backend = (
             self.backend.stats() if self.backend is not None else {"name": "memory"}
         )
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "stores": self.stores,
-                "backend": backend,
-            }
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "backend": backend,
+        }
 
     def backend_spec(self) -> Optional[str]:
         """Spec string re-opening this cache's backend (``None`` if not possible).

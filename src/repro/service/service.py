@@ -43,6 +43,22 @@ from typing import (
 
 from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.serialization import content_hash, schedule_to_dict
+from repro.obs.metrics import (
+    REQUESTS_TOTAL,
+    MetricsRegistry,
+    merge_snapshots,
+    observe_phases,
+)
+from repro.obs.trace import (
+    PHASE_CACHE_LOOKUP,
+    PHASE_QUEUE_WAIT,
+    PHASE_SCHEDULE,
+    PHASE_STORE,
+    Trace,
+    activate,
+    new_trace_id,
+    span,
+)
 from repro.scheduling.base import SystemScheduleResult
 from repro.service.cache import ScheduleCache
 from repro.service.messages import (
@@ -182,15 +198,39 @@ def execute_request(request: ScheduleRequest) -> ScheduleResponse:
     spec = effective_spec(request)
     scheduler = spec.resolve()
     task_set = request.effective_task_set()
-    if request.horizon is None:
-        result = scheduler.schedule_taskset(task_set)
-    else:
-        result = scheduler.schedule_taskset(task_set, request.horizon)
+    with span(PHASE_SCHEDULE):
+        if request.horizon is None:
+            result = scheduler.schedule_taskset(task_set)
+        else:
+            result = scheduler.schedule_taskset(task_set, request.horizon)
     produces_schedule = bool(getattr(scheduler, "produces_schedule", True))
     elapsed = time.perf_counter() - start
     return build_response(
         request, spec, result, produces_schedule=produces_schedule, elapsed_s=elapsed
     )
+
+
+def execute_request_observed(
+    args: Tuple[ScheduleRequest, Optional[str], Optional[float]],
+) -> Tuple[ScheduleResponse, Dict[str, Any], Dict[str, Any]]:
+    """Pool-worker entry: :func:`execute_request` under a fresh trace + registry.
+
+    ``args`` is ``(request, trace_id, submitted_monotonic)``.  The worker
+    opens a trace under the dispatching process's ``trace_id``, records the
+    queue-wait it observed (``time.monotonic`` is comparable across processes
+    on one machine), executes, and ships back
+    ``(response, trace_dict, registry_snapshot)`` — the response itself is
+    untouched, so answers stay byte-identical with or without observation.
+    """
+    request, trace_id, submitted_monotonic = args
+    registry = MetricsRegistry()
+    trace = Trace(trace_id)
+    if submitted_monotonic is not None:
+        trace.add_phase(PHASE_QUEUE_WAIT, time.monotonic() - submitted_monotonic)
+    with activate(trace):
+        response = execute_request(request)
+    observe_phases(registry, "schedule", trace.phases)
+    return response, trace.to_dict(), registry.snapshot()
 
 
 _CACHE_DEFAULT = object()
@@ -260,22 +300,30 @@ class SchedulingService:
                 f"not both {' and '.join(given)}"
             )
         self.n_workers = n_workers
+        #: This service's metrics: request counters, per-phase latency
+        #: histograms and — for caches the service creates itself — the cache
+        #: operation counters.  :meth:`metrics` merges in any separately
+        #: created cache registry.
+        self.registry = MetricsRegistry()
         self._owns_cache = False
         if cache_backend is not None:
             from repro.store import schedule_backend
 
             self.cache: Optional[ScheduleCache] = ScheduleCache(
-                backend=schedule_backend(cache_backend)
+                backend=schedule_backend(cache_backend), metrics=self.registry
             )
             self._owns_cache = isinstance(cache_backend, str)
         elif cache is _CACHE_DEFAULT:
-            self.cache = ScheduleCache(cache_dir)
+            self.cache = ScheduleCache(cache_dir, metrics=self.registry)
         else:
             self.cache = cache  # type: ignore[assignment]
         self._executor: Optional[Executor] = executor
         self._owns_executor = executor is None
         #: Requests actually computed (cache misses) over this service's lifetime.
         self.computed = 0
+        #: Phase breakdowns of the most recent :meth:`submit_batch`, one
+        #: ``{"trace_id", "phases"}`` dict per request in request order.
+        self.last_traces: List[Dict[str, Any]] = []
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -314,21 +362,46 @@ class SchedulingService:
         """
         return self._get_executor().submit(execute_request, request)
 
+    def execute_in_pool_observed(
+        self, request: ScheduleRequest
+    ) -> "Future[Tuple[ScheduleResponse, Dict[str, Any], Dict[str, Any]]]":
+        """Like :meth:`execute_in_pool`, but through the observed worker entry.
+
+        The future resolves to ``(response, trace_dict, registry_snapshot)``;
+        the serving daemon's dispatcher merges the snapshot into its registry
+        and keeps the phase breakdown.  The response is identical to
+        :meth:`execute_in_pool`'s.
+        """
+        return self._get_executor().submit(
+            execute_request_observed, (request, new_trace_id(), time.monotonic())
+        )
+
+    #: Value of the ``kind`` label on this service's registry metrics.
+    METRICS_KIND = "schedule"
+
     def submit_batch(self, requests: Iterable[ScheduleRequest]) -> List[ScheduleResponse]:
         """Execute a batch; responses are returned in request order.
 
         Cached and duplicate requests are not recomputed: every distinct
         content key in the batch is executed at most once, and each response's
         ``cache`` field records what happened (``hit``/``miss``/``disabled``).
+        Per-request phase breakdowns land in :attr:`last_traces` and the phase
+        latency histograms of :attr:`registry`; responses carry none of it.
         """
         requests = list(requests)
         responses: List[Optional[ScheduleResponse]] = [None] * len(requests)
         keys = [request.content_key() for request in requests]
+        traces = [Trace() for _ in requests]
+        kind = self.METRICS_KIND
 
         # Key -> positions still to answer, in first-seen order.
         pending: Dict[str, List[int]] = {}
         for position, (request, key) in enumerate(zip(requests, keys)):
+            lookup_started = time.monotonic()
             cached = self.cache.get(key) if self.cache is not None else None
+            trace = traces[position]
+            trace.add_phase(PHASE_CACHE_LOOKUP, time.monotonic() - lookup_started)
+            observe_phases(self.registry, kind, trace.phases[-1:])
             if cached is not None:
                 responses[position] = ScheduleResponse.from_result_dict(
                     cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
@@ -337,13 +410,20 @@ class SchedulingService:
                 pending.setdefault(key, []).append(position)
 
         computed = self._execute_unique(
-            [(key, requests[positions[0]]) for key, positions in pending.items()]
+            [
+                (key, requests[positions[0]], traces[positions[0]])
+                for key, positions in pending.items()
+            ]
         )
 
         for key, positions in pending.items():
             base = computed[key]
             if self.cache is not None:
+                leader_trace = traces[positions[0]]
+                store_started = time.monotonic()
                 self.cache.put(key, base.result_dict())
+                leader_trace.add_phase(PHASE_STORE, time.monotonic() - store_started)
+                observe_phases(self.registry, kind, leader_trace.phases[-1:])
             for occurrence, position in enumerate(positions):
                 if self.cache is None:
                     status = CACHE_DISABLED
@@ -355,23 +435,48 @@ class SchedulingService:
                     cache=status,
                     cache_key=key,
                 )
+        for response in responses:
+            if response is not None:
+                self.registry.counter_inc(
+                    REQUESTS_TOTAL,
+                    help="Requests answered, by kind and cache status.",
+                    kind=kind,
+                    cache=response.cache,
+                )
+        self.last_traces = [trace.to_dict() for trace in traces]
         return [response for response in responses if response is not None]
 
-    def _execute_unique(
-        self, work: Sequence[Tuple[str, ScheduleRequest]]
-    ) -> Dict[str, ScheduleResponse]:
+    def _execute_unique(self, work) -> Dict[str, ScheduleResponse]:
+        """Execute one request per distinct content key; phases land on the
+        leader's trace (``work`` is ``(key, request, trace)`` triples)."""
         if not work:
             return {}
-        requests = [request for _, request in work]
-        if self.n_workers == 1 or len(requests) == 1:
-            results = [execute_request(request) for request in requests]
+        if self.n_workers == 1 or len(work) == 1:
+            results = []
+            for _, request, trace in work:
+                before = len(trace.phases)
+                with activate(trace):
+                    results.append(execute_request(request))
+                observe_phases(self.registry, self.METRICS_KIND, trace.phases[before:])
         else:
-            chunksize = max(1, len(requests) // (self.n_workers * 4))
-            results = list(
-                self._get_executor().map(execute_request, requests, chunksize=chunksize)
+            submitted = time.monotonic()
+            jobs = [
+                (request, trace.trace_id, submitted) for _, request, trace in work
+            ]
+            chunksize = max(1, len(jobs) // (self.n_workers * 4))
+            outcomes = self._get_executor().map(
+                execute_request_observed, jobs, chunksize=chunksize
             )
+            results = []
+            for (_, _, trace), (response, trace_dict, snapshot) in zip(work, outcomes):
+                # The worker already observed its phases (queue-wait and
+                # compute) into the shipped snapshot; merging it here is what
+                # makes pooled totals equal serial totals.
+                self.registry.merge(snapshot)
+                trace.phases.extend(trace_dict["phases"])
+                results.append(response)
         self.computed += len(results)
-        return {key: result for (key, _), result in zip(work, results)}
+        return {key: result for (key, _, _), result in zip(work, results)}
 
     # -- introspection -----------------------------------------------------------
 
@@ -393,3 +498,16 @@ class SchedulingService:
                 cache_backend=cache_stats["backend"],
             )
         return stats
+
+    def metrics_registries(self) -> List[MetricsRegistry]:
+        """Every distinct registry this service's metrics live on."""
+        registries = [self.registry]
+        if self.cache is not None and self.cache.registry is not self.registry:
+            registries.append(self.cache.registry)
+        return registries
+
+    def metrics(self) -> Dict[str, Any]:
+        """Merged snapshot of this service's metrics (counters + histograms)."""
+        return merge_snapshots(
+            registry.snapshot() for registry in self.metrics_registries()
+        )

@@ -1,0 +1,154 @@
+"""Campaign timing sidecars: journal byte-identity, aggregation, the table."""
+
+import json
+import math
+
+import pytest
+
+from repro.campaign import build_campaign, run_campaign
+from repro.campaign.timings import (
+    TIMINGS_FILENAME,
+    TimingsWriter,
+    format_timings_table,
+    read_timing_entries,
+    timings_filename,
+    timings_rows,
+)
+
+SCENARIO = "short-hyperperiod"
+
+
+def spec(**overrides):
+    options = dict(
+        name="timed",
+        scenarios=(SCENARIO,),
+        methods=("static",),
+        n_systems=2,
+    )
+    options.update(overrides)
+    return build_campaign(**options)
+
+
+class TestSidecarWriting:
+    def test_run_with_timings_writes_one_line_per_evaluated_cell(self, tmp_path):
+        result = run_campaign(spec(), artifact_dir=tmp_path, timings=True)
+        directory = tmp_path / spec().content_key()
+        entries = read_timing_entries(directory)
+        assert len(entries) == len(result.records) == 2
+        for entry in entries:
+            assert entry["kind"] == "schedule"
+            assert entry["sc"] == SCENARIO
+            assert entry["cache"] in ("miss", "disabled")
+            assert entry["elapsed_ms"] >= 0.0
+
+    def test_runtime_cells_get_their_own_entries(self, tmp_path):
+        campaign = spec(execution_models=("dedicated-controller",))
+        run_campaign(campaign, artifact_dir=tmp_path, timings=True)
+        entries = read_timing_entries(tmp_path / campaign.content_key())
+        kinds = sorted({entry["kind"] for entry in entries})
+        assert kinds == ["schedule", "simulation"]
+        simulated = [entry for entry in entries if entry["kind"] == "simulation"]
+        assert all("x" in entry for entry in simulated)
+
+    def test_without_the_flag_no_sidecar_appears(self, tmp_path):
+        run_campaign(spec(), artifact_dir=tmp_path)
+        directory = tmp_path / spec().content_key()
+        assert not list(directory.glob("*.metrics.jsonl"))
+
+    def test_resumed_cells_write_no_timing_lines(self, tmp_path):
+        run_campaign(spec(), artifact_dir=tmp_path, timings=True)
+        directory = tmp_path / spec().content_key()
+        before = len(read_timing_entries(directory))
+        result = run_campaign(spec(), artifact_dir=tmp_path, timings=True)
+        assert result.evaluated == 0
+        assert len(read_timing_entries(directory)) == before
+
+    def test_in_memory_campaign_ignores_timings(self):
+        result = run_campaign(spec(), timings=True)
+        assert len(result.records) == 2
+
+
+class TestJournalByteIdentity:
+    """Acceptance: the journal's bytes do not depend on the timings flag."""
+
+    def test_journal_identical_with_and_without_timings(self, tmp_path):
+        run_campaign(spec(), artifact_dir=tmp_path / "with", timings=True)
+        run_campaign(spec(), artifact_dir=tmp_path / "without")
+        key = spec().content_key()
+        with_timings = (tmp_path / "with" / key / "campaign.jsonl").read_bytes()
+        without = (tmp_path / "without" / key / "campaign.jsonl").read_bytes()
+        assert with_timings == without
+
+    def test_sidecar_lines_never_reach_the_journal(self, tmp_path):
+        run_campaign(spec(), artifact_dir=tmp_path, timings=True)
+        journal = tmp_path / spec().content_key() / "campaign.jsonl"
+        for line in journal.read_text(encoding="utf-8").splitlines():
+            assert "elapsed_ms" not in json.loads(line)
+
+
+class TestAggregation:
+    def entries(self):
+        return [
+            {"kind": "schedule", "sc": "a", "m": "static", "cache": "miss", "elapsed_ms": 10.0},
+            {"kind": "schedule", "sc": "a", "m": "static", "cache": "miss", "elapsed_ms": 30.0},
+            {"kind": "schedule", "sc": "a", "m": "static", "cache": "hit", "elapsed_ms": 0.1},
+            {"kind": "schedule", "sc": "b", "m": "ga", "cache": "miss", "elapsed_ms": 500.0},
+        ]
+
+    def test_rows_group_by_scenario_method_kind(self):
+        rows = timings_rows(self.entries())
+        assert [(row["scenario"], row["method"]) for row in rows] == [
+            ("a", "static"),
+            ("b", "ga"),
+        ]
+        first = rows[0]
+        assert first["n"] == 3
+        assert first["hits"] == 1
+        assert first["p50_ms"] == pytest.approx(20.0)
+
+    def test_hits_are_excluded_from_percentiles(self):
+        rows = timings_rows(self.entries())
+        assert rows[0]["p50_ms"] > 1.0
+
+    def test_all_hits_yield_nan_percentiles(self):
+        rows = timings_rows(
+            [{"kind": "schedule", "sc": "a", "m": "s", "cache": "hit", "elapsed_ms": 0.1}]
+        )
+        assert math.isnan(rows[0]["p50_ms"])
+
+    def test_malformed_entries_are_skipped(self):
+        rows = timings_rows([{"kind": "schedule"}, *self.entries()])
+        assert len(rows) == 2
+
+    def test_table_renders_columns(self):
+        table = format_timings_table(self.entries())
+        header = table.splitlines()[0].split()
+        assert header == ["scenario", "method", "kind", "n", "hits", "p50_ms", "p95_ms"]
+
+    def test_empty_entries_render_placeholder(self):
+        assert "no timing sidecars" in format_timings_table([])
+
+
+class TestWriterMechanics:
+    def test_filename_derivation(self):
+        assert timings_filename("campaign.jsonl") == TIMINGS_FILENAME
+        assert (
+            timings_filename("campaign.shard-1-of-2.jsonl")
+            == "campaign.shard-1-of-2.metrics.jsonl"
+        )
+
+    def test_disabled_writer_never_touches_disk(self, tmp_path):
+        writer = TimingsWriter(tmp_path, "campaign.jsonl", enabled=False)
+        writer.write({"elapsed_ms": 1.0})
+        writer.close()
+        assert not list(tmp_path.iterdir())
+
+    def test_torn_sidecar_lines_are_skipped_on_read(self, tmp_path):
+        sidecar = tmp_path / TIMINGS_FILENAME
+        sidecar.write_text(
+            '{"elapsed_ms": 1.0, "sc": "a", "m": "s", "kind": "schedule", "cache": "miss"}\n'
+            '{"elapsed_ms": 2.0, "sc"',  # torn mid-write
+            encoding="utf-8",
+        )
+        entries = read_timing_entries(tmp_path)
+        assert len(entries) == 1

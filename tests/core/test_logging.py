@@ -1,0 +1,95 @@
+"""Structured stderr logging: levels, formatting, argparse wiring."""
+
+import argparse
+
+import pytest
+
+from repro.core import logging as relog
+
+
+@pytest.fixture(autouse=True)
+def silent_after_each():
+    yield
+    relog.configure("off")
+
+
+def last_line(capsys):
+    err = capsys.readouterr().err.strip().splitlines()
+    return err[-1] if err else ""
+
+
+class TestThreshold:
+    def test_silent_by_default(self, capsys):
+        relog.info("event")
+        assert capsys.readouterr().err == ""
+
+    def test_levels_below_threshold_are_dropped(self, capsys):
+        relog.configure("warning")
+        relog.info("quiet")
+        relog.warning("loud")
+        lines = capsys.readouterr().err.strip().splitlines()
+        assert lines == ["level=warning event=loud"]
+
+    def test_off_silences_even_errors(self, capsys):
+        relog.configure("off")
+        relog.error("nope")
+        assert capsys.readouterr().err == ""
+
+    def test_enabled_reflects_threshold(self):
+        relog.configure("info")
+        assert relog.enabled("error")
+        assert relog.enabled("info")
+        assert not relog.enabled("debug")
+        assert not relog.enabled("off")
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            relog.configure("loud")
+
+
+class TestFormatting:
+    def test_bare_words_stay_bare(self, capsys):
+        relog.configure("info")
+        relog.info("server-started", host="127.0.0.1", port=7341)
+        assert last_line(capsys) == (
+            "level=info event=server-started host=127.0.0.1 port=7341"
+        )
+
+    def test_non_bare_values_are_json_quoted(self, capsys):
+        relog.configure("info")
+        relog.info("note", message="hello world")
+        assert last_line(capsys) == 'level=info event=note message="hello world"'
+
+    def test_booleans_render_lowercase(self, capsys):
+        relog.configure("info")
+        relog.info("flag", on=True, off=False)
+        assert last_line(capsys) == "level=info event=flag on=true off=false"
+
+    def test_never_writes_stdout(self, capsys):
+        relog.configure("debug")
+        relog.debug("event", value=1)
+        assert capsys.readouterr().out == ""
+
+
+class TestArgparseWiring:
+    def test_flag_defaults_off_and_configures(self, capsys):
+        parser = argparse.ArgumentParser()
+        relog.add_log_level_argument(parser)
+        args = parser.parse_args([])
+        assert args.log_level == "off"
+        relog.configure_from_args(args)
+        relog.error("hidden")
+        assert capsys.readouterr().err == ""
+
+    def test_flag_value_applies(self, capsys):
+        parser = argparse.ArgumentParser()
+        relog.add_log_level_argument(parser)
+        relog.configure_from_args(parser.parse_args(["--log-level", "debug"]))
+        relog.debug("visible")
+        assert last_line(capsys) == "level=debug event=visible"
+
+    def test_missing_flag_is_a_no_op(self):
+        relog.configure("warning")
+        relog.configure_from_args(argparse.Namespace())
+        assert relog.enabled("warning")
+        assert not relog.enabled("info")

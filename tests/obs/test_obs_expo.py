@@ -1,0 +1,104 @@
+"""Prometheus text exposition: format, escaping, cumulative buckets."""
+
+import re
+
+from repro.obs import MetricsRegistry, render, write_metrics_file
+
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$'
+)
+
+
+def rendered(build):
+    registry = MetricsRegistry()
+    build(registry)
+    return render(registry.snapshot())
+
+
+class TestFormat:
+    def test_empty_snapshot_renders_empty(self):
+        assert render(MetricsRegistry().snapshot()) == ""
+
+    def test_counter_exposition(self):
+        text = rendered(
+            lambda r: r.counter_inc("repro_x_total", 3, help="X.", kind="a")
+        )
+        assert text == (
+            "# HELP repro_x_total X.\n"
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total{kind="a"} 3\n'
+        )
+
+    def test_gauge_without_labels_or_help(self):
+        text = rendered(lambda r: r.gauge_set("repro_depth", 2.0))
+        assert text == "# TYPE repro_depth gauge\nrepro_depth 2\n"
+
+    def test_floats_keep_their_precision(self):
+        text = rendered(lambda r: r.gauge_set("g", 0.125))
+        assert "g 0.125\n" in text
+
+    def test_ends_with_exactly_one_newline(self):
+        text = rendered(lambda r: r.counter_inc("c", kind="a"))
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_every_sample_line_is_well_formed(self):
+        def build(registry):
+            registry.counter_inc("repro_a_total", kind="x")
+            registry.gauge_set("repro_b", 1.5)
+            registry.histogram_observe("repro_c_ms", 0.4, phase="p")
+
+        for line in rendered(build).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert SAMPLE_LINE.match(line), line
+
+
+class TestEscaping:
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        text = rendered(
+            lambda r: r.counter_inc("c", source='a"b\\c\nd')
+        )
+        assert 'source="a\\"b\\\\c\\nd"' in text
+        assert "\n\n" not in text
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_end_in_inf(self):
+        def build(registry):
+            for value in (0.2, 0.7, 5.0):
+                registry.histogram_observe("h_ms", value, buckets=(0.5, 1.0), phase="p")
+
+        text = rendered(build)
+        assert 'h_ms_bucket{phase="p",le="0.5"} 1' in text
+        assert 'h_ms_bucket{phase="p",le="1"} 2' in text
+        assert 'h_ms_bucket{phase="p",le="+Inf"} 3' in text
+        assert 'h_ms_count{phase="p"} 3' in text
+        assert 'h_ms_sum{phase="p"} 5.9' in text
+
+    def test_inf_bucket_equals_count(self):
+        def build(registry):
+            for value in (0.1, 99.0, 12345.0):
+                registry.histogram_observe("h_ms", value, phase="p")
+
+        text = rendered(build)
+        inf = re.search(r'h_ms_bucket\{phase="p",le="\+Inf"\} (\d+)', text)
+        count = re.search(r'h_ms_count\{phase="p"\} (\d+)', text)
+        assert inf and count and inf.group(1) == count.group(1) == "3"
+
+
+class TestDeterminismAndFiles:
+    def test_same_state_renders_identical_bytes(self):
+        def build(registry):
+            registry.counter_inc("z", kind="b")
+            registry.counter_inc("a", kind="x")
+            registry.histogram_observe("m_ms", 1.0, phase="p")
+
+        assert rendered(build) == rendered(build)
+
+    def test_write_metrics_file_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter_inc("repro_x_total", kind="a")
+        target = tmp_path / "metrics.prom"
+        write_metrics_file(target, registry.snapshot())
+        assert target.read_text(encoding="utf-8") == render(registry.snapshot())

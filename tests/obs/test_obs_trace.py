@@ -1,0 +1,86 @@
+"""Trace propagation: spans, activation scoping, and no-op behaviour."""
+
+from repro.obs import (
+    PHASE_SCHEDULE,
+    PHASE_SIMULATE,
+    Trace,
+    activate,
+    current_trace,
+    new_trace_id,
+    span,
+)
+
+
+class TestTraceIds:
+    def test_ids_are_short_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+
+class TestActivation:
+    def test_no_trace_by_default(self):
+        assert current_trace() is None
+
+    def test_activate_scopes_the_trace(self):
+        trace = Trace("t0")
+        with activate(trace):
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_activation_nests(self):
+        outer, inner = Trace("outer"), Trace("inner")
+        with activate(outer):
+            with activate(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+
+class TestSpans:
+    def test_span_records_a_phase_on_the_active_trace(self):
+        trace = Trace("t0")
+        with activate(trace):
+            with span(PHASE_SCHEDULE):
+                pass
+        assert [phase["phase"] for phase in trace.phases] == [PHASE_SCHEDULE]
+        assert trace.phases[0]["duration_ms"] >= 0.0
+
+    def test_span_without_active_trace_is_a_no_op(self):
+        with span(PHASE_SCHEDULE):
+            pass
+        assert current_trace() is None
+
+    def test_span_records_on_exception(self):
+        trace = Trace("t0")
+        try:
+            with activate(trace):
+                with span(PHASE_SIMULATE):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [phase["phase"] for phase in trace.phases] == [PHASE_SIMULATE]
+
+    def test_spans_accumulate_in_order(self):
+        trace = Trace("t0")
+        with activate(trace):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [phase["phase"] for phase in trace.phases] == ["a", "b"]
+
+
+class TestTraceDict:
+    def test_to_dict_round_trips_phases(self):
+        trace = Trace("abc")
+        trace.add_phase("schedule", 0.002)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == "abc"
+        assert payload["phases"] == [{"phase": "schedule", "duration_ms": 2.0}]
+
+    def test_negative_durations_clamp_to_zero(self):
+        trace = Trace("abc")
+        trace.add_phase("schedule", -0.5)
+        assert trace.phases[0]["duration_ms"] == 0.0
