@@ -1,0 +1,120 @@
+"""Benchmarks of the warm-worker dispatch fast path.
+
+Three properties of the PR-10 fast path are demonstrated:
+
+* **warm vs cold cell latency** — re-running a scenario cell against warm
+  per-process memo caches (materialisation, heuristic schedules, GA problems)
+  skips every re-derivation and must beat the cold run;
+* **batched vs per-key SQLite lookup** — one ``get_many`` query answers a
+  whole batch of keys far faster than a ``get`` per key;
+* the batched path stays byte-identical to the per-key path.
+"""
+
+import time
+
+import pytest
+
+from repro.core.memo import reset_memos
+from repro.scenario import create_scenario
+from repro.service import ScheduleRequest, SchedulingService
+from repro.store import SqliteBackend
+
+#: One scenario cell: every method over a few systems of one scenario.
+SPECS = ("static", "gpiocp", "ga:population_size=16,generations=8")
+N_SYSTEMS = 3
+
+
+def cell_batch():
+    scenario = create_scenario("short-hyperperiod")
+    return [
+        ScheduleRequest(
+            scenario=scenario,
+            spec=spec,
+            system_index=index,
+            request_id=f"{index}/{spec}",
+        )
+        for index in range(N_SYSTEMS)
+        for spec in SPECS
+    ]
+
+
+def run_cell():
+    with SchedulingService(cache=None) as service:
+        return service.submit_batch(cell_batch())
+
+
+@pytest.mark.benchmark(group="dispatch")
+def test_cold_cell_latency(benchmark):
+    """A scenario cell with every memo cache empty (the pre-PR-10 cost)."""
+
+    def cold_setup():
+        reset_memos()
+        return (), {}
+
+    responses = benchmark.pedantic(run_cell, setup=cold_setup, rounds=3, iterations=1)
+    assert len(responses) == len(SPECS) * N_SYSTEMS
+    reset_memos()
+
+
+@pytest.mark.benchmark(group="dispatch")
+def test_warm_cell_latency(benchmark):
+    """The same cell against warm memos — and byte-identical to the cold run."""
+    reset_memos()
+    start = time.perf_counter()
+    cold = run_cell()
+    cold_seconds = time.perf_counter() - start
+
+    responses = benchmark.pedantic(run_cell, rounds=3, iterations=1)
+    assert [r.result_dict() for r in responses] == [r.result_dict() for r in cold]
+    assert benchmark.stats.stats.median < cold_seconds, (
+        f"warm cell no faster than cold ({benchmark.stats.stats.median:.3f}s "
+        f"vs {cold_seconds:.3f}s)"
+    )
+    reset_memos()
+
+
+N_KEYS = 300
+
+
+@pytest.fixture(scope="module")
+def populated_sqlite(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dispatch-bench") / "cache.db"
+    with SqliteBackend(path) as backend:
+        backend.put_many(
+            [
+                (
+                    f"{index:016x}",
+                    {"kind": "repro/test-entry", "version": 1, "data": {"i": index}},
+                )
+                for index in range(N_KEYS)
+            ]
+        )
+        yield backend
+
+
+@pytest.mark.benchmark(group="dispatch")
+def test_sqlite_lookup_per_key(benchmark, populated_sqlite):
+    """The pre-PR-10 lookup loop: one SQLite query per key."""
+    keys = [f"{index:016x}" for index in range(N_KEYS)]
+
+    def per_key():
+        return {key: populated_sqlite.get(key) for key in keys}
+
+    found = benchmark(per_key)
+    assert len(found) == N_KEYS
+
+
+@pytest.mark.benchmark(group="dispatch")
+def test_sqlite_lookup_batched(benchmark, populated_sqlite):
+    """One batched ``get_many`` query — same answers, far fewer round trips."""
+    keys = [f"{index:016x}" for index in range(N_KEYS)]
+
+    start = time.perf_counter()
+    per_key = {key: populated_sqlite.get(key) for key in keys}
+    per_key_seconds = time.perf_counter() - start
+
+    found = benchmark(lambda: populated_sqlite.get_many(keys))
+    assert found == per_key
+    assert benchmark.stats.stats.median < per_key_seconds, (
+        "batched lookup no faster than per-key"
+    )

@@ -455,8 +455,15 @@ class CampaignSpec:
         return cls.from_dict(json.loads(text))
 
     def content_key(self) -> str:
-        """Content-address of the full campaign (any field change changes it)."""
-        return content_hash(self.data_dict())
+        """Content-address of the full campaign (any field change changes it).
+
+        The spec is frozen, so the key is hashed once and memoised.
+        """
+        cached = self.__dict__.get("_content_key")
+        if cached is None:
+            cached = content_hash(self.data_dict())
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
 
 #: Anything :func:`create_campaign` can resolve into a spec.

@@ -7,6 +7,13 @@ partitions, explicit offline schedules, and the two I/O-performance metrics
 (Psi and Upsilon) used throughout the evaluation.
 """
 
+from repro.core.memo import (
+    LRUMemo,
+    drain_memo_metrics,
+    get_memo,
+    memo_stats,
+    reset_memos,
+)
 from repro.core.hyperperiod import hyperperiod, jobs_in_hyperperiod, lcm, lcm_many
 from repro.core.metrics import (
     ScheduleMetrics,
@@ -34,6 +41,11 @@ from repro.core.schedule import (
 from repro.core.task import MS, US, IOJob, IOTask, TaskSet, make_task_ms
 
 __all__ = [
+    "LRUMemo",
+    "get_memo",
+    "memo_stats",
+    "reset_memos",
+    "drain_memo_metrics",
     "IOTask",
     "IOJob",
     "TaskSet",

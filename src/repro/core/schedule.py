@@ -17,6 +17,7 @@ constraints of Section III-B:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -50,7 +51,11 @@ class ScheduleEntry:
 
     @property
     def quality(self) -> float:
-        return self.job.quality(self.start)
+        cached = self.__dict__.get("_quality")
+        if cached is None:
+            cached = self.job.quality(self.start)
+            object.__setattr__(self, "_quality", cached)
+        return cached
 
 
 class Schedule:
@@ -58,6 +63,8 @@ class Schedule:
 
     def __init__(self, entries: Iterable[ScheduleEntry] = (), device: Optional[str] = None):
         self._entries: Dict[Tuple[str, int], ScheduleEntry] = {}
+        self._sorted_cache: Optional[List[ScheduleEntry]] = None
+        self._idle_cache: Optional[Tuple[int, List[Tuple[int, int]]]] = None
         self.device = device
         for entry in entries:
             self.add(entry)
@@ -73,7 +80,14 @@ class Schedule:
                 f"job {entry.job.name} targets device {entry.job.device!r} but the "
                 f"schedule is for device {self.device!r}"
             )
+        if self._sorted_cache is not None:
+            if entry.job.key in self._entries:
+                # Replacing an entry moves it; cheaper to re-sort lazily.
+                self._sorted_cache = None
+            else:
+                insort(self._sorted_cache, entry, key=lambda e: (e.start, e.job.key))
         self._entries[entry.job.key] = entry
+        self._idle_cache = None
 
     def set_start(self, job: IOJob, start: int) -> None:
         """Assign ``start`` as the start time of ``job``."""
@@ -103,7 +117,11 @@ class Schedule:
 
     def sorted_entries(self) -> List[ScheduleEntry]:
         """Entries ordered by start time (ties broken by job identity)."""
-        return sorted(self._entries.values(), key=lambda e: (e.start, e.job.key))
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(
+                self._entries.values(), key=lambda e: (e.start, e.job.key)
+            )
+        return list(self._sorted_cache)
 
     def start_of(self, job: IOJob) -> int:
         """Start time ``kappa`` assigned to ``job``."""
@@ -136,6 +154,8 @@ class Schedule:
 
     def idle_intervals(self, horizon: int) -> List[Tuple[int, int]]:
         """Sorted idle (free-slot) intervals in ``[0, horizon)`` around the busy ones."""
+        if self._idle_cache is not None and self._idle_cache[0] == horizon:
+            return list(self._idle_cache[1])
         idle: List[Tuple[int, int]] = []
         cursor = 0
         for start, finish in self.busy_intervals():
@@ -144,7 +164,8 @@ class Schedule:
             cursor = max(cursor, finish)
         if cursor < horizon:
             idle.append((cursor, horizon))
-        return idle
+        self._idle_cache = (horizon, idle)
+        return list(idle)
 
     def copy(self) -> "Schedule":
         return Schedule(self._entries.values(), device=self.device)

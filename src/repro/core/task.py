@@ -116,6 +116,42 @@ class IOTask:
                 f"task {self.name}: v_max ({self.v_max}) must be >= v_min ({self.v_min})"
             )
 
+    def __hash__(self) -> int:
+        """Same value as the dataclass-generated hash, computed once.
+
+        Tasks are hashed heavily as parts of memo keys (inside job tuples);
+        the field tuple never changes, so neither does the hash.
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.name,
+                    self.wcet,
+                    self.period,
+                    self.deadline,
+                    self.priority,
+                    self.ideal_offset,
+                    self.theta,
+                    self.device,
+                    self.v_max,
+                    self.v_min,
+                    self.offset,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Slim pickles: drop memoised derivatives (hash, quality curve)."""
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_quality_curve", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     @property
     def utilisation(self) -> float:
         """Processor (device) utilisation ``C_i / T_i`` of the task."""
@@ -123,8 +159,16 @@ class IOTask:
 
     @property
     def quality_curve(self) -> QualityCurve:
-        """The task's quality curve (linear, per the paper's evaluation)."""
-        return LinearQualityCurve(v_max=self.v_max, v_min=self.v_min)
+        """The task's quality curve (linear, per the paper's evaluation).
+
+        A pure value of ``(v_max, v_min)``, so it is built once per task and
+        cached — metric aggregation queries it for every job.
+        """
+        curve = self.__dict__.get("_quality_curve")
+        if curve is None:
+            curve = LinearQualityCurve(v_max=self.v_max, v_min=self.v_min)
+            object.__setattr__(self, "_quality_curve", curve)
+        return curve
 
     def with_priority(self, priority: int) -> "IOTask":
         """Return a copy of the task with a different priority."""
@@ -207,9 +251,13 @@ class IOJob:
 
     def max_quality(self) -> float:
         """Quality obtained at the ideal start time (``V_max``)."""
-        return self.task.quality_curve.value(
-            self.ideal_start, self.ideal_start, self.task.theta
-        )
+        cached = self.__dict__.get("_max_quality")
+        if cached is None:
+            cached = self.task.quality_curve.value(
+                self.ideal_start, self.ideal_start, self.task.theta
+            )
+            object.__setattr__(self, "_max_quality", cached)
+        return cached
 
     def overlaps_ideally_with(self, other: "IOJob") -> bool:
         """Whether the *ideal* executions of the two jobs overlap in time.
@@ -225,6 +273,24 @@ class IOJob:
     def __lt__(self, other: "IOJob") -> bool:
         return (self.ideal_start, self.key) < (other.ideal_start, other.key)
 
+    def __hash__(self) -> int:
+        """Same value as the dataclass-generated hash, computed once."""
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.task, self.index, self.release))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Slim pickles: drop memoised derivatives (hash, max quality)."""
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_max_quality", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
 
 class TaskSet:
     """An ordered collection of timed I/O tasks (``Gamma`` in the paper)."""
@@ -234,6 +300,23 @@ class TaskSet:
         names = [task.name for task in self._tasks]
         if len(names) != len(set(names)):
             raise ValueError("task names within a TaskSet must be unique")
+        # The task list never changes after construction, so the per-device
+        # partitions and the released-jobs lists (pure functions of the tasks)
+        # are computed once and shared by every consumer of this instance.
+        self._partition_cache: Optional[Dict[str, "TaskSet"]] = None
+        self._jobs_cache: Dict[int, List[IOJob]] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Slim pickles: derived caches are recomputed on demand by receivers."""
+        state = dict(self.__dict__)
+        state.pop("_partition_cache", None)
+        state.pop("_jobs_cache", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._partition_cache = None
+        self._jobs_cache = {}
 
     def __iter__(self) -> Iterator[IOTask]:
         return iter(self._tasks)
@@ -277,10 +360,16 @@ class TaskSet:
         """All jobs released by all tasks within ``horizon`` (default: one hyper-period)."""
         if horizon is None:
             horizon = self.hyperperiod()
-        jobs: List[IOJob] = []
-        for task in self._tasks:
-            jobs.extend(task.jobs(horizon))
-        return sorted(jobs)
+        cached = self._jobs_cache.get(horizon)
+        if cached is None:
+            jobs: List[IOJob] = []
+            for task in self._tasks:
+                jobs.extend(task.jobs(horizon))
+            # Same order as sorting with IOJob.__lt__, but the sort key is
+            # built once per job instead of twice per comparison.
+            jobs.sort(key=lambda j: (j.ideal_start, j.key))
+            self._jobs_cache[horizon] = cached = jobs
+        return list(cached)
 
     def assign_dmpo_priorities(self) -> "TaskSet":
         """Return a new task set with deadline-monotonic priorities assigned.
@@ -299,10 +388,14 @@ class TaskSet:
 
     def partition(self) -> Dict[str, "TaskSet"]:
         """Split the task set into per-device partitions (fully-partitioned model)."""
-        groups: Dict[str, List[IOTask]] = {}
-        for task in self._tasks:
-            groups.setdefault(task.device, []).append(task)
-        return {device: TaskSet(tasks) for device, tasks in sorted(groups.items())}
+        if self._partition_cache is None:
+            groups: Dict[str, List[IOTask]] = {}
+            for task in self._tasks:
+                groups.setdefault(task.device, []).append(task)
+            self._partition_cache = {
+                device: TaskSet(tasks) for device, tasks in sorted(groups.items())
+            }
+        return dict(self._partition_cache)
 
     def scaled(self, factor: float) -> "TaskSet":
         """Return a copy with all WCETs scaled by ``factor`` (utilisation scaling)."""

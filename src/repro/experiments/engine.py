@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.memo import get_memo
 from repro.core.serialization import PayloadVersionError, content_hash
 from repro.core.task import TaskSet
 from repro.experiments.artifacts import (
@@ -124,7 +125,13 @@ def cell_scenario(config: ExperimentConfig, utilisation: float) -> Scenario:
     two always agree on which synthetic system the cell evaluates.
     """
     assert config.scenario is not None
-    return config.scenario.with_utilisation(utilisation)
+    # Every cell of a sweep re-pins the same scenario at the same few
+    # utilisation points (once per method per system); the pinned copy is a
+    # frozen value, so warm workers share it from a per-process memo.
+    return get_memo("cell-scenario").get_or_create(
+        (config.scenario.content_key(), utilisation),
+        lambda: config.scenario.with_utilisation(utilisation),
+    )
 
 
 def generate_system(
@@ -141,7 +148,12 @@ def generate_system(
             config.scenario, system_index, utilisation=utilisation
         ).task_set
     seed = cell_seed(config, utilisation, system_index)
-    return SystemGenerator(config.generator, rng=seed).generate(utilisation)
+    # Same per-worker reuse as the scenario path (which memoises inside
+    # materialize): each method of a sweep re-draws the same cell system.
+    return get_memo("generate-system", 256).get_or_create(
+        (config.generator, seed, utilisation),
+        lambda: SystemGenerator(config.generator, rng=seed).generate(utilisation),
+    )
 
 
 def cell_spec(config: ExperimentConfig, job: EvalJob) -> SchedulerSpec:

@@ -13,6 +13,7 @@ from repro.obs.expo import render, write_metrics_file
 from repro.obs.metrics import (
     CACHE_OPS_TOTAL,
     DEFAULT_LATENCY_BUCKETS_MS,
+    MEMO_OPS_TOTAL,
     REQUEST_LATENCY_MS,
     REQUESTS_TOTAL,
     SERVER_COMPUTED_TOTAL,
@@ -42,6 +43,7 @@ from repro.obs.trace import (
 __all__ = [
     "CACHE_OPS_TOTAL",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "MEMO_OPS_TOTAL",
     "MetricsRegistry",
     "PHASE_CACHE_LOOKUP",
     "PHASE_QUEUE_WAIT",

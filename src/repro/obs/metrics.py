@@ -45,6 +45,8 @@ KIND_HISTOGRAM = "histogram"
 REQUESTS_TOTAL = "repro_requests_total"
 #: Cache lookups/stores by cache name and operation (hit/miss/store).
 CACHE_OPS_TOTAL = "repro_cache_ops_total"
+#: Process-local memo-cache operations by memo name and op (hit/miss/evict).
+MEMO_OPS_TOTAL = "repro_memo_ops_total"
 #: Per-phase request latency (queue-wait, cache-lookup, schedule, simulate, store).
 REQUEST_LATENCY_MS = "repro_request_latency_ms"
 #: Daemon admission outcomes (admitted/rejected/failed).

@@ -167,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="also print the simulation and schedule caches' lifetime "
-        "counters (entries/hits/misses/stores) to stderr after the batch",
+        "counters (entries/hits/misses/stores) and the per-worker "
+        "memo-cache hit/miss counters to stderr after the batch",
     )
     parser.add_argument(
         "--metrics-out",
@@ -298,10 +299,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         file=sys.stderr,
     )
     if args.verbose:
-        from repro.service.__main__ import format_cache_stats
+        from repro.service.__main__ import format_cache_stats, format_memo_stats
 
         print(format_cache_stats("sim cache", stats), file=sys.stderr)
         print(format_cache_stats("schedule cache", scheduling_stats), file=sys.stderr)
+        print(format_memo_stats(metrics_snapshot), file=sys.stderr)
     if args.metrics_out is not None:
         from repro.obs import write_metrics_file
 

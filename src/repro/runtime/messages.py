@@ -146,8 +146,15 @@ class SimulationRequest:
         fault plan), the workload override (when explicit), the system index,
         the schedule-method spec, the execution model, the horizon, the event
         budget and the seed.
+
+        The request is frozen, so the key is hashed once and memoised — repeat
+        calls (cache lookup, seed derivation, batch dedup) return the cached
+        string.
         """
-        return content_hash(
+        cached = self.__dict__.get("_content_key")
+        if cached is not None:
+            return cached
+        key = content_hash(
             {
                 "scenario": self.scenario.content_key(),
                 "workload": (
@@ -161,6 +168,25 @@ class SimulationRequest:
                 "seed": self.seed,
             }
         )
+        object.__setattr__(self, "_content_key", key)
+        return key
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Slim pickles: drop the memoised task set, keep the content key.
+
+        The materialised task set can dwarf the request itself; any receiver
+        re-materialises it deterministically on demand.  The content key is a
+        small string and saves the receiver a full canonical-JSON hash, so it
+        rides along.
+        """
+        state = dict(self.__dict__)
+        state.pop("_materialized_task_set", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     # -- serialisation -----------------------------------------------------------
 

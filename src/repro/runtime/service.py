@@ -28,8 +28,18 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
+from repro.core.memo import drain_memo_metrics
 from repro.core.serialization import content_hash
 from repro.hardware.faults import FaultInjector
 from repro.obs.metrics import (
@@ -290,7 +300,129 @@ def execute_simulation_job_observed(
             (request, schedule_backend_spec, cached_schedule)
         )
     observe_phases(registry, "simulation", trace.phases)
+    drain_memo_metrics(registry)
     return response, trace.to_dict(), registry.snapshot()
+
+
+def slim_simulation_entry(
+    request: SimulationRequest,
+    cached_schedule: Optional[Dict[str, object]],
+    trace_id: str,
+    scenarios: Dict[str, Any],
+) -> Tuple[Any, ...]:
+    """One slim chunk-payload entry for ``request``; fills ``scenarios``.
+
+    Requests without an explicit workload ship only their small fields plus
+    the scenario's content key — the envelope itself goes into the chunk's
+    shared ``scenarios`` table exactly once, however many jobs of the chunk
+    reference it.  Explicit-workload requests ship whole.
+    """
+    content_key = request.content_key()
+    if request.task_set is None and request.scenario is not None:
+        scenario_key = request.scenario.content_key()
+        scenarios.setdefault(scenario_key, request.scenario)
+        return (
+            "scenario",
+            scenario_key,
+            request.method,
+            request.execution_model,
+            request.system_index,
+            request.horizon,
+            request.max_events,
+            request.seed,
+            request.request_id,
+            content_key,
+            cached_schedule,
+            trace_id,
+        )
+    return ("request", request, content_key, cached_schedule, trace_id)
+
+
+def inflate_simulation_entry(
+    entry: Tuple[Any, ...], scenarios: Dict[str, Any]
+) -> Tuple[SimulationRequest, Optional[Dict[str, object]], str]:
+    """Rebuild ``(request, cached_schedule, trace_id)`` from a slim entry."""
+    if entry[0] == "scenario":
+        (
+            _,
+            scenario_key,
+            method,
+            execution_model,
+            system_index,
+            horizon,
+            max_events,
+            seed,
+            request_id,
+            content_key,
+            cached_schedule,
+            trace_id,
+        ) = entry
+        request = SimulationRequest(
+            scenario=scenarios[scenario_key],
+            method=method,
+            execution_model=execution_model,
+            system_index=system_index,
+            horizon=horizon,
+            max_events=max_events,
+            seed=seed,
+            request_id=request_id,
+        )
+    else:
+        _, request, content_key, cached_schedule, trace_id = entry
+    if content_key is not None:
+        object.__setattr__(request, "_content_key", content_key)
+    return request, cached_schedule, trace_id
+
+
+def execute_simulation_chunk(
+    payload: Tuple[Dict[str, Any], Optional[str], List[Tuple[Any, ...]], Optional[float]],
+) -> Tuple[List[Tuple[SimulationResponse, Dict[str, object]]], Dict[str, object]]:
+    """Pool-worker entry: execute one slim chunk of simulation requests.
+
+    ``payload`` is ``(scenarios, schedule_backend_spec, entries, submitted)``.
+    The dispatching service's persistent schedule cache is re-opened **once
+    per chunk** (not once per job) and shared by every job of the chunk that
+    did not come with its schedule attached; each job runs under its own
+    trace, and the chunk ships one registry snapshot covering every job plus
+    this worker's memo-cache deltas.
+    """
+    scenarios, schedule_backend_spec, entries, submitted = payload
+    registry = MetricsRegistry()
+    outcomes: List[Tuple[SimulationResponse, Dict[str, object]]] = []
+    schedule_cache: Optional[ScheduleCache] = None
+    scheduling: Optional[SchedulingService] = None
+    try:
+        if schedule_backend_spec is not None:
+            from repro.store import create_backend
+
+            schedule_cache = ScheduleCache(backend=create_backend(schedule_backend_spec))
+            scheduling = SchedulingService(cache=schedule_cache)
+        for entry in entries:
+            request, cached_schedule, trace_id = inflate_simulation_entry(
+                entry, scenarios
+            )
+            trace = Trace(trace_id)
+            if submitted is not None:
+                trace.add_phase(PHASE_QUEUE_WAIT, time.monotonic() - submitted)
+            with activate(trace):
+                if cached_schedule is not None:
+                    response = execute_simulation(
+                        request,
+                        schedule_response=ScheduleResponse.from_result_dict(
+                            cached_schedule
+                        ),
+                    )
+                else:
+                    response = execute_simulation(request, scheduling=scheduling)
+            observe_phases(registry, "simulation", trace.phases)
+            outcomes.append((response, trace.to_dict()))
+    finally:
+        if scheduling is not None:
+            scheduling.close()
+        if schedule_cache is not None:
+            schedule_cache.close()
+    drain_memo_metrics(registry)
+    return outcomes, registry.snapshot()
 
 
 _CACHE_DEFAULT = object()
@@ -335,6 +467,12 @@ class SimulationService:
         :mod:`repro.server` daemon shares one warm pool between scheduling
         and simulation).  The caller keeps ownership; ``n_workers`` should
         describe its size.
+    chunksize:
+        Jobs per pool chunk for batch dispatch; ``None`` (the default)
+        derives ``max(1, unique_jobs // (n_workers * 4))`` per batch.  Each
+        chunk ships its distinct scenario envelopes once and re-opens the
+        persistent schedule cache once.  Responses are bit-identical at any
+        chunk size.
     """
 
     def __init__(
@@ -347,9 +485,12 @@ class SimulationService:
         scheduling: Optional[SchedulingService] = None,
         schedule_cache_dir: Optional[str] = None,
         executor: Optional[Executor] = None,
+        chunksize: Optional[int] = None,
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
+        if chunksize is not None and (not isinstance(chunksize, int) or chunksize < 1):
+            raise ValueError(f"chunksize must be a positive integer, got {chunksize!r}")
         given = [
             name
             for name, present in (
@@ -373,6 +514,7 @@ class SimulationService:
                 "pass either cache_backend or schedule_cache_dir, not both"
             )
         self.n_workers = n_workers
+        self.chunksize = chunksize
         #: This service's metrics: request counters, per-phase latency
         #: histograms and — for caches the service creates itself — the cache
         #: operation counters.  :meth:`metrics` merges in the registries of a
@@ -508,13 +650,22 @@ class SimulationService:
         traces = [Trace() for _ in requests]
         kind = self.METRICS_KIND
 
+        # One batched lookup covers the whole batch: each distinct key goes to
+        # the cache (and its backend) exactly once, however often it repeats.
+        # Hit/miss statistics still count per position, and each position's
+        # trace carries an equal share of the lookup so phase totals match.
+        lookup_started = time.monotonic()
+        found = self.cache.get_many(keys) if self.cache is not None else {}
+        lookup_share = (
+            (time.monotonic() - lookup_started) / len(requests) if requests else 0.0
+        )
+
         pending: Dict[str, List[int]] = {}
         for position, (request, key) in enumerate(zip(requests, keys)):
-            lookup_started = time.monotonic()
-            cached = self.cache.get(key) if self.cache is not None else None
             trace = traces[position]
-            trace.add_phase(PHASE_CACHE_LOOKUP, time.monotonic() - lookup_started)
+            trace.add_phase(PHASE_CACHE_LOOKUP, lookup_share)
             observe_phases(self.registry, kind, trace.phases[-1:])
+            cached = found.get(key)
             if cached is not None:
                 responses[position] = SimulationResponse.from_result_dict(
                     cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
@@ -529,13 +680,21 @@ class SimulationService:
             ]
         )
 
+        # Mirror image of the lookup: all freshly computed results persist in
+        # one batched write (one SQLite transaction), each leader trace taking
+        # an equal share of the store phase.
+        store_share = 0.0
+        if self.cache is not None and pending:
+            store_started = time.monotonic()
+            self.cache.put_many(
+                [(key, computed[key].result_dict()) for key in pending]
+            )
+            store_share = (time.monotonic() - store_started) / len(pending)
         for key, positions in pending.items():
             base = computed[key]
             if self.cache is not None:
                 leader_trace = traces[positions[0]]
-                store_started = time.monotonic()
-                self.cache.put(key, base.result_dict())
-                leader_trace.add_phase(PHASE_STORE, time.monotonic() - store_started)
+                leader_trace.add_phase(PHASE_STORE, store_share)
                 observe_phases(self.registry, kind, leader_trace.phases[-1:])
             for occurrence, position in enumerate(positions):
                 if self.cache is None:
@@ -556,6 +715,10 @@ class SimulationService:
                     kind=kind,
                     cache=response.cache,
                 )
+        # Serial-path executions ran scheduler memo caches in this process;
+        # fold their hit/miss deltas into the service registry (pooled chunks
+        # already shipped theirs inside the merged snapshots).
+        drain_memo_metrics(self.registry)
         self.last_traces = [trace.to_dict() for trace in traces]
         return [response for response in responses if response is not None]
 
@@ -577,32 +740,51 @@ class SimulationService:
             schedule_backend_spec = self._schedule_backend_spec()
             schedule_cache = self.scheduling.cache
             submitted = time.monotonic()
-            jobs = []
-            for _, request, trace in work:
-                # Schedules the dispatching service already holds (e.g. the
-                # ones a campaign's schedule cells just computed) ship with
-                # the job, so workers never recompute them — even when the
-                # schedule cache is memory-only.
-                cached = (
-                    schedule_cache.peek(request.schedule_request().content_key())
-                    if schedule_cache is not None
-                    else None
-                )
-                jobs.append(
-                    (request, schedule_backend_spec, cached, trace.trace_id, submitted)
-                )
-            chunksize = max(1, len(jobs) // (self.n_workers * 4))
-            outcomes = self._get_executor().map(
-                execute_simulation_job_observed, jobs, chunksize=chunksize
+            # Schedules the dispatching service already holds (e.g. the ones
+            # a campaign's schedule cells just computed) ship with the jobs,
+            # so workers never recompute them — even when the schedule cache
+            # is memory-only.  One batched peek covers all jobs.
+            schedule_keys = [
+                request.schedule_request().content_key() for _, request, _ in work
+            ]
+            peeked = (
+                schedule_cache.peek_many(schedule_keys)
+                if schedule_cache is not None
+                else {}
             )
+            chunksize = self.chunksize or max(1, len(work) // (self.n_workers * 4))
+            executor = self._get_executor()
+            futures = []
+            for start in range(0, len(work), chunksize):
+                chunk = work[start : start + chunksize]
+                # Slim payload: each distinct scenario envelope crosses the
+                # process boundary once per chunk, not once per job.
+                scenarios: Dict[str, Any] = {}
+                entries = [
+                    slim_simulation_entry(
+                        request,
+                        peeked.get(schedule_keys[start + offset]),
+                        trace.trace_id,
+                        scenarios,
+                    )
+                    for offset, (_, request, trace) in enumerate(chunk)
+                ]
+                futures.append(
+                    executor.submit(
+                        execute_simulation_chunk,
+                        (scenarios, schedule_backend_spec, entries, submitted),
+                    )
+                )
             results = []
-            for (_, _, trace), (response, trace_dict, snapshot) in zip(work, outcomes):
+            for future in futures:
+                outcomes, snapshot = future.result()
                 # The worker already observed its phases into the shipped
                 # snapshot; merging it here is what makes pooled totals equal
                 # serial totals.
                 self.registry.merge(snapshot)
-                trace.phases.extend(trace_dict["phases"])
-                results.append(response)
+                for response, trace_dict in outcomes:
+                    work[len(results)][2].phases.extend(trace_dict["phases"])
+                    results.append(response)
         self.computed += len(results)
         return {key: result for (key, _, _), result in zip(work, results)}
 

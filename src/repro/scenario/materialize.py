@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional
 
+from repro.core.memo import get_memo
 from repro.core.serialization import content_hash
 from repro.core.task import TaskSet
 from repro.hardware.controller import IOController
@@ -134,6 +135,13 @@ class MaterializedScenario:
         yield self.faults
 
 
+def _generate_task_set(scenario: Scenario, seed: int) -> TaskSet:
+    """Draw the scenario's synthetic system (the expensive part of materialising)."""
+    workload = scenario.workload
+    generator = SystemGenerator(workload.generator, rng=seed)
+    return generator.generate(workload.utilisation, workload.n_tasks)
+
+
 def materialize(
     scenario: Scenario,
     system_index: int = 0,
@@ -150,9 +158,13 @@ def materialize(
     if utilisation is not None and utilisation != scenario.workload.utilisation:
         scenario = scenario.with_utilisation(utilisation)
     seed = system_seed(scenario, system_index)
-    workload = scenario.workload
-    generator = SystemGenerator(workload.generator, rng=seed)
-    task_set = generator.generate(workload.utilisation, workload.n_tasks)
+    # The drawn task set is a pure function of (scenario content, index) and is
+    # immutable once built, so warm workers reuse it from a bounded per-process
+    # memo.  The platform and fault injector are stateful and always rebuilt.
+    task_set = get_memo("materialize", 256).get_or_create(
+        (scenario.content_key(), system_index),
+        lambda: _generate_task_set(scenario, seed),
+    )
     faults = FaultInjector(list(scenario.faults.faults))
     platform = build_platform(scenario.platform, fault_injector=faults)
     return MaterializedScenario(

@@ -305,8 +305,17 @@ class Scenario:
         return cls.from_dict(json.loads(text))
 
     def content_key(self) -> str:
-        """Content-address of the full scenario (any field change changes it)."""
-        return content_hash(self.data_dict())
+        """Content-address of the full scenario (any field change changes it).
+
+        The scenario is frozen, so the key is hashed once and memoised; the
+        cached string also rides along in pickles, saving pool workers the
+        re-hash.
+        """
+        cached = self.__dict__.get("_content_key")
+        if cached is None:
+            cached = content_hash(self.data_dict())
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
 
 #: Anything :func:`repro.scenario.registry.create_scenario` can resolve.

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.memo import get_memo
 from repro.core.schedule import Schedule
 from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
@@ -91,9 +92,15 @@ class GAScheduler(Scheduler):
         if not jobs:
             return ScheduleResult.from_schedule(Schedule(), jobs)
 
-        problem = GAProblem(jobs=jobs, horizon=horizon)
+        # Compiling the partition (gene bounds, release/deadline arrays) is a
+        # pure function of (jobs, horizon) and the problem is read-only during
+        # the search, so warm workers share one pre-compiled instance per
+        # partition content.
+        problem = get_memo("ga-problem", 64).get_or_create(
+            (horizon, tuple(jobs)), lambda: self._build_problem(jobs, horizon)
+        )
         rng = np.random.default_rng(self.config.seed)
-        seeds = self._build_seeds(problem, horizon)
+        seeds = self._build_seeds(problem, jobs, horizon)
 
         # The batch evaluator scores a whole (pop, n_genes) matrix per call.
         # Archive payloads are the repaired start-time rows — Schedule objects
@@ -151,6 +158,12 @@ class GAScheduler(Scheduler):
     # -- internals -----------------------------------------------------------
 
     @staticmethod
+    def _build_problem(jobs: List[IOJob], horizon: int) -> GAProblem:
+        problem = GAProblem(jobs=jobs, horizon=horizon)
+        problem.compiled()  # pre-warm so every search on this memo entry shares it
+        return problem
+
+    @staticmethod
     def _schedule_from_starts(problem: GAProblem, starts: np.ndarray) -> Schedule:
         """Materialise a Schedule from a repaired start-time row.
 
@@ -165,12 +178,19 @@ class GAScheduler(Scheduler):
             schedule.set_start(problem.jobs[int(index)], int(starts[int(index)]))
         return schedule
 
-    def _build_seeds(self, problem: GAProblem, horizon: int) -> List[np.ndarray]:
+    def _build_seeds(
+        self, problem: GAProblem, jobs: Sequence[IOJob], horizon: int
+    ) -> List[np.ndarray]:
         seeds: List[np.ndarray] = [problem.ideal_genes()]
         if not self.config.seed_with_heuristic:
             return seeds
         heuristic = HeuristicScheduler()
-        result = heuristic.schedule_jobs(problem.jobs, horizon)
+        # Seed from the heuristic result for the caller's job order (not the
+        # problem's canonical order): the start-time mapping is identical
+        # either way — the heuristic canonicalises internally — and using the
+        # caller's order shares the per-worker memo entry with a plain
+        # "static" run of the same partition.
+        result = heuristic.schedule_jobs(jobs, horizon)
         if result.schedulable and result.schedule is not None:
             starts_by_key = {
                 entry.job.key: entry.start for entry in result.schedule.entries

@@ -15,8 +15,9 @@ reported unschedulable (the paper deliberately does not search further).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Sequence
 
+from repro.core.memo import get_memo
 from repro.core.task import IOJob
 from repro.scheduling.base import Scheduler, ScheduleResult
 from repro.scheduling.dependency_graph import build_dependency_graphs, decompose_graphs
@@ -42,6 +43,25 @@ class HeuristicScheduler(Scheduler):
 
             return ScheduleResult.from_schedule(Schedule(), jobs)
 
+        # The whole pipeline is a pure function of (jobs, horizon, placement
+        # policy), and the same partition is scheduled repeatedly within a
+        # process (cache misses on a warm worker, GA heuristic seeding), so
+        # the result is memoised per worker.  Jobs are frozen values, so the
+        # key compares by content, and callers get a fresh Schedule copy to
+        # keep the stored entry pristine.
+        memo = get_memo("heuristic")
+        key = (horizon, self.allocator.prefer_ideal_placement, tuple(jobs))
+        result = memo.get(key)
+        if result is None:
+            result = memo.put(key, self._schedule_jobs_uncached(jobs, horizon))
+        return ScheduleResult(
+            schedulable=result.schedulable,
+            schedule=result.schedule.copy() if result.schedule is not None else None,
+            metrics=result.metrics,
+            info=dict(result.info),
+        )
+
+    def _schedule_jobs_uncached(self, jobs: List[IOJob], horizon: int) -> ScheduleResult:
         graphs = build_dependency_graphs(jobs)
         kept, sacrificed = decompose_graphs(graphs)
         schedule, report = self.allocator.allocate(kept, sacrificed, horizon)

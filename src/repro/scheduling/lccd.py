@@ -167,25 +167,37 @@ class LCCDAllocator:
         Each run is annotated with (#exactly-accurate in-between jobs,
         #in-between jobs) and the runs are returned best-first.
         """
-        entries = schedule.sorted_entries()
         runs: List[Tuple[int, int, List[FreeSlot], List[ScheduleEntry]]] = []
         n = len(slots)
-        for i in range(n):
-            usable = 0
-            for j in range(i, n):
-                clipped = slots[j].overlap(job.release, job.deadline)
-                usable += clipped.capacity if clipped is not None else 0
-                if j == i or usable < job.wcet:
-                    # single slots are case 1's responsibility; skip until the
-                    # merged capacity is sufficient
-                    if usable < job.wcet:
-                        continue
-                run_slots = list(slots[i:j + 1])
-                lo, hi = run_slots[0].start, run_slots[-1].end
-                between = [e for e in entries if e.start >= lo and e.finish <= hi]
-                exact_between = sum(1 for e in between if e.is_exact)
-                runs.append((exact_between, len(between), run_slots, between))
-                break  # extending the run further only adds more disturbance
+        if n == 0:
+            return runs
+        # Each run starts at slot i and extends to the first slot j whose
+        # cumulative window-clipped capacity reaches the job's WCET (extending
+        # further only adds more disturbance).  Finding every (i, j) pair is a
+        # prefix-sum + binary search instead of the O(n^2) slot scan.
+        slot_starts = np.fromiter((s.start for s in slots), dtype=np.int64, count=n)
+        slot_ends = np.fromiter((s.end for s in slots), dtype=np.int64, count=n)
+        clipped = np.minimum(slot_ends, job.deadline) - np.maximum(slot_starts, job.release)
+        cum = np.cumsum(np.maximum(clipped, 0))
+        targets = job.wcet + np.concatenate((np.zeros(1, dtype=np.int64), cum[:-1]))
+        run_ends = np.maximum(np.searchsorted(cum, targets, side="left"), np.arange(n))
+
+        entries = schedule.sorted_entries()
+        entry_starts = np.fromiter((e.start for e in entries), dtype=np.int64, count=len(entries))
+        entry_finishes = np.fromiter(
+            (e.finish for e in entries), dtype=np.int64, count=len(entries)
+        )
+        entry_exact = np.fromiter(
+            (e.start == e.job.ideal_start for e in entries), dtype=bool, count=len(entries)
+        )
+        for i in np.nonzero(run_ends < n)[0]:
+            j = int(run_ends[i])
+            run_slots = list(slots[i:j + 1])
+            lo, hi = run_slots[0].start, run_slots[-1].end
+            inside = np.nonzero((entry_starts >= lo) & (entry_finishes <= hi))[0]
+            between = [entries[k] for k in inside]
+            exact_between = int(np.count_nonzero(entry_exact[inside]))
+            runs.append((exact_between, len(between), run_slots, between))
         runs.sort(key=lambda r: (r[0], r[1], r[2][0].start))
         return runs
 

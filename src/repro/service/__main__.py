@@ -138,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="also print the schedule cache's lifetime counters "
-        "(entries/hits/misses/stores) to stderr after the batch",
+        "(entries/hits/misses/stores) and the per-worker memo-cache "
+        "hit/miss counters to stderr after the batch",
     )
     parser.add_argument(
         "--profile",
@@ -281,6 +282,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if args.verbose:
         print(format_cache_stats("schedule cache", stats), file=sys.stderr)
+        print(format_memo_stats(metrics_snapshot), file=sys.stderr)
     if args.metrics_out is not None:
         from repro.obs import write_metrics_file
 
@@ -304,6 +306,35 @@ def format_cache_stats(label: str, stats: dict) -> str:
         where = f" at {location}" if location else ""
         line += f" [backend: {backend['name']}{where}]"
     return line
+
+
+def format_memo_stats(metrics_snapshot: dict) -> str:
+    """One stderr line of per-worker memo-cache counters (``--verbose`` mode).
+
+    Reads the ``repro_memo_ops_total`` samples of a merged metrics snapshot;
+    pool workers drain their process-local memo deltas into the registry
+    snapshots they ship back, so the totals cover the dispatching process and
+    every worker alike.
+    """
+    from repro.obs.metrics import MEMO_OPS_TOTAL
+
+    family = metrics_snapshot.get("families", {}).get(MEMO_OPS_TOTAL, {})
+    per_memo: dict = {}
+    for sample in family.get("samples", []):
+        labels = sample.get("labels", {})
+        ops = per_memo.setdefault(str(labels.get("memo", "?")), {})
+        op = str(labels.get("op", "?"))
+        ops[op] = ops.get(op, 0) + int(sample.get("value", 0))
+    if not per_memo:
+        return "memo caches: (no activity)"
+    parts = []
+    for name in sorted(per_memo):
+        ops = per_memo[name]
+        part = f"{name} {ops.get('hit', 0)} hits / {ops.get('miss', 0)} misses"
+        if ops.get("evict"):
+            part += f" / {ops['evict']} evictions"
+        parts.append(part)
+    return "memo caches: " + ", ".join(parts)
 
 
 if __name__ == "__main__":  # pragma: no cover

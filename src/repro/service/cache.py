@@ -28,7 +28,7 @@ given key holds an identical (content-addressed) result.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import threading
 
 from repro.core.serialization import (
@@ -145,11 +145,54 @@ class ScheduleCache:
                     entry = self._entries.setdefault(key, entry)
         return entry
 
+    def peek_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        """Present entries for every distinct key of ``keys``; no statistics.
+
+        Memory answers first; the remaining keys go to the backend as **one**
+        batched read (one SQLite query per ~500 keys instead of one per key).
+        """
+        distinct = list(dict.fromkeys(keys))
+        found: Dict[str, Dict[str, Any]] = {}
+        missing: List[str] = []
+        with self._lock:
+            for key in distinct:
+                entry = self._entries.get(key)
+                if entry is None:
+                    missing.append(key)
+                else:
+                    found[key] = entry
+        if missing and self.backend is not None:
+            # Backend I/O happens outside the lock; racing loaders of the same
+            # key read identical (content-addressed) entries, first one in wins.
+            payloads = self.backend.get_many(missing)
+            loaded = {
+                key: entry
+                for key, payload in payloads.items()
+                if (entry := self._parse_entry(payload)) is not None
+            }
+            if loaded:
+                with self._lock:
+                    for key, entry in loaded.items():
+                        found[key] = self._entries.setdefault(key, entry)
+        return found
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored result for ``key``, or ``None`` on a miss."""
         entry = self.peek(key)
         self._count_op("miss" if entry is None else "hit")
         return entry
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Present entries for ``keys``, counting one hit/miss per *occurrence*.
+
+        The statistics match a ``get`` per element of ``keys`` exactly (so a
+        batch with duplicates counts every position), while the backend is
+        consulted only once per distinct key.
+        """
+        found = self.peek_many(keys)
+        for key in keys:
+            self._count_op("miss" if key not in found else "hit")
+        return found
 
     def put(self, key: str, result: Dict[str, Any]) -> None:
         """Store ``result`` under ``key`` (idempotent; first write wins)."""
@@ -160,6 +203,35 @@ class ScheduleCache:
         self._count_op("store")
         if self.backend is not None:
             self._persist(key, result)
+
+    def put_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None:
+        """Store a batch of ``(key, result)`` pairs (idempotent per key).
+
+        Counts one ``store`` per key actually stored — same statistics as a
+        ``put`` per pair — but persists all fresh entries in **one** backend
+        write (one SQLite transaction instead of one per key).
+        """
+        fresh: List[Tuple[str, Dict[str, Any]]] = []
+        with self._lock:
+            for key, result in items:
+                if key in self._entries:
+                    continue
+                self._entries[key] = result
+                fresh.append((key, result))
+        for _ in fresh:
+            self._count_op("store")
+        if fresh and self.backend is not None:
+            self.backend.put_many(
+                [
+                    (
+                        key,
+                        versioned_payload(
+                            self.kind, self.version, {"key": key, "result": result}
+                        ),
+                    )
+                    for key, result in fresh
+                ]
+            )
 
     # -- introspection -----------------------------------------------------------
 
@@ -213,6 +285,9 @@ class ScheduleCache:
         payload = self.backend.get(key)
         if payload is None:
             return None
+        return self._parse_entry(payload)
+
+    def _parse_entry(self, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         try:
             _, data = parse_versioned_payload(
                 payload, self.kind, max_version=self.version

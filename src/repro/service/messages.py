@@ -113,9 +113,16 @@ class ScheduleRequest:
         covers every scenario field) plus the system index, so changing *any*
         scenario field — workload, platform, faults, even the name — yields a
         different key and therefore a cache miss.
+
+        The request is frozen, so the key is hashed once and memoised — repeat
+        calls (cache lookup, seed derivation, batch dedup) return the cached
+        string.
         """
+        cached = self.__dict__.get("_content_key")
+        if cached is not None:
+            return cached
         if self.scenario is not None:
-            return content_hash(
+            key = content_hash(
                 {
                     "scenario": self.scenario.content_key(),
                     "system_index": self.system_index,
@@ -123,13 +130,33 @@ class ScheduleRequest:
                     "horizon": self.horizon,
                 }
             )
-        return content_hash(
-            {
-                "taskset": taskset_to_dict(self.task_set),
-                "spec": self.spec.to_dict(),
-                "horizon": self.horizon,
-            }
-        )
+        else:
+            key = content_hash(
+                {
+                    "taskset": taskset_to_dict(self.task_set),
+                    "spec": self.spec.to_dict(),
+                    "horizon": self.horizon,
+                }
+            )
+        object.__setattr__(self, "_content_key", key)
+        return key
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Slim pickles: drop the memoised task set, keep the content key.
+
+        The materialised task set can dwarf the request itself; any receiver
+        re-materialises it deterministically on demand.  The content key is a
+        small string and saves the receiver a full canonical-JSON hash, so it
+        rides along.
+        """
+        state = dict(self.__dict__)
+        state.pop("_materialized_task_set", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     # -- serialisation -----------------------------------------------------------
 

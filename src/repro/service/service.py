@@ -36,11 +36,11 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Sequence,
     Tuple,
     Union,
 )
 
+from repro.core.memo import drain_memo_metrics
 from repro.core.metrics import aggregate_psi, aggregate_upsilon
 from repro.core.serialization import content_hash, schedule_to_dict
 from repro.obs.metrics import (
@@ -230,7 +230,89 @@ def execute_request_observed(
     with activate(trace):
         response = execute_request(request)
     observe_phases(registry, "schedule", trace.phases)
+    drain_memo_metrics(registry)
     return response, trace.to_dict(), registry.snapshot()
+
+
+def slim_job_entry(
+    request: ScheduleRequest,
+    content_key: str,
+    trace_id: str,
+    scenarios: Dict[str, Any],
+) -> Tuple[Any, ...]:
+    """One slim chunk-payload entry for ``request``; fills ``scenarios``.
+
+    Scenario-backed requests ship only their small fields plus the scenario's
+    content key — the envelope itself goes into the chunk's shared ``scenarios``
+    table exactly once, however many jobs of the chunk reference it.  Requests
+    with an explicit task set ship whole (their pickled form is already slim:
+    memoised task sets are dropped, the content key rides along).
+    """
+    if request.scenario is not None:
+        scenario_key = request.scenario.content_key()
+        scenarios.setdefault(scenario_key, request.scenario)
+        return (
+            "scenario",
+            scenario_key,
+            request.system_index,
+            request.spec,
+            request.horizon,
+            request.request_id,
+            content_key,
+            trace_id,
+        )
+    return ("request", request, content_key, trace_id)
+
+
+def inflate_job_entry(
+    entry: Tuple[Any, ...], scenarios: Dict[str, Any]
+) -> Tuple[ScheduleRequest, str]:
+    """Rebuild ``(request, trace_id)`` from a slim chunk-payload entry.
+
+    The rebuilt request is content-identical to the dispatcher's (scenario
+    envelopes are shared values; the content key is seeded so nobody re-hashes
+    it), which is what keeps responses byte-identical to serial execution.
+    """
+    if entry[0] == "scenario":
+        _, scenario_key, system_index, spec, horizon, request_id, content_key, trace_id = entry
+        request = ScheduleRequest(
+            scenario=scenarios[scenario_key],
+            system_index=system_index,
+            spec=spec,
+            horizon=horizon,
+            request_id=request_id,
+        )
+    else:
+        _, request, content_key, trace_id = entry
+    if content_key is not None:
+        object.__setattr__(request, "_content_key", content_key)
+    return request, trace_id
+
+
+def execute_schedule_chunk(
+    payload: Tuple[Dict[str, Any], List[Tuple[Any, ...]], Optional[float]],
+) -> Tuple[List[Tuple[ScheduleResponse, Dict[str, Any]]], Dict[str, Any]]:
+    """Pool-worker entry: execute one slim chunk of requests.
+
+    ``payload`` is ``(scenarios, entries, submitted_monotonic)``.  Each entry
+    runs under its own trace (queue-wait measured when its turn comes, exactly
+    as ``Executor.map`` chunking did); the chunk ships one registry snapshot
+    covering every job plus this worker's memo-cache deltas.
+    """
+    scenarios, entries, submitted_monotonic = payload
+    registry = MetricsRegistry()
+    outcomes: List[Tuple[ScheduleResponse, Dict[str, Any]]] = []
+    for entry in entries:
+        request, trace_id = inflate_job_entry(entry, scenarios)
+        trace = Trace(trace_id)
+        if submitted_monotonic is not None:
+            trace.add_phase(PHASE_QUEUE_WAIT, time.monotonic() - submitted_monotonic)
+        with activate(trace):
+            response = execute_request(request)
+        observe_phases(registry, "schedule", trace.phases)
+        outcomes.append((response, trace.to_dict()))
+    drain_memo_metrics(registry)
+    return outcomes, registry.snapshot()
 
 
 _CACHE_DEFAULT = object()
@@ -269,6 +351,11 @@ class SchedulingService:
         services this way.  The caller keeps ownership (:meth:`close` will
         not shut a borrowed executor down); ``n_workers`` should describe
         its size.
+    chunksize:
+        Jobs per pool chunk for batch dispatch; ``None`` (the default)
+        derives ``max(1, unique_jobs // (n_workers * 4))`` per batch.  Each
+        chunk ships its distinct scenario envelopes once, however many jobs
+        reference them.  Responses are bit-identical at any chunk size.
 
     Use the service as a context manager (or call :meth:`close`) to release
     the worker pool.
@@ -282,9 +369,12 @@ class SchedulingService:
         cache_backend: Optional[Union[str, "CacheBackend"]] = None,
         cache: Union[ScheduleCache, None, object] = _CACHE_DEFAULT,
         executor: Optional[Executor] = None,
+        chunksize: Optional[int] = None,
     ):
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers!r}")
+        if chunksize is not None and (not isinstance(chunksize, int) or chunksize < 1):
+            raise ValueError(f"chunksize must be a positive integer, got {chunksize!r}")
         given = [
             name
             for name, present in (
@@ -300,6 +390,7 @@ class SchedulingService:
                 f"not both {' and '.join(given)}"
             )
         self.n_workers = n_workers
+        self.chunksize = chunksize
         #: This service's metrics: request counters, per-phase latency
         #: histograms and — for caches the service creates itself — the cache
         #: operation counters.  :meth:`metrics` merges in any separately
@@ -394,14 +485,23 @@ class SchedulingService:
         traces = [Trace() for _ in requests]
         kind = self.METRICS_KIND
 
+        # One batched lookup covers the whole batch: each distinct key goes to
+        # the cache (and its backend) exactly once, however often it repeats.
+        # Hit/miss statistics still count per position, and each position's
+        # trace carries an equal share of the lookup so phase totals match.
+        lookup_started = time.monotonic()
+        found = self.cache.get_many(keys) if self.cache is not None else {}
+        lookup_share = (
+            (time.monotonic() - lookup_started) / len(requests) if requests else 0.0
+        )
+
         # Key -> positions still to answer, in first-seen order.
         pending: Dict[str, List[int]] = {}
         for position, (request, key) in enumerate(zip(requests, keys)):
-            lookup_started = time.monotonic()
-            cached = self.cache.get(key) if self.cache is not None else None
             trace = traces[position]
-            trace.add_phase(PHASE_CACHE_LOOKUP, time.monotonic() - lookup_started)
+            trace.add_phase(PHASE_CACHE_LOOKUP, lookup_share)
             observe_phases(self.registry, kind, trace.phases[-1:])
+            cached = found.get(key)
             if cached is not None:
                 responses[position] = ScheduleResponse.from_result_dict(
                     cached, request_id=request.request_id, cache=CACHE_HIT, cache_key=key
@@ -416,13 +516,21 @@ class SchedulingService:
             ]
         )
 
+        # Mirror image of the lookup: all freshly computed results persist in
+        # one batched write (one SQLite transaction), each leader trace taking
+        # an equal share of the store phase.
+        store_share = 0.0
+        if self.cache is not None and pending:
+            store_started = time.monotonic()
+            self.cache.put_many(
+                [(key, computed[key].result_dict()) for key in pending]
+            )
+            store_share = (time.monotonic() - store_started) / len(pending)
         for key, positions in pending.items():
             base = computed[key]
             if self.cache is not None:
                 leader_trace = traces[positions[0]]
-                store_started = time.monotonic()
-                self.cache.put(key, base.result_dict())
-                leader_trace.add_phase(PHASE_STORE, time.monotonic() - store_started)
+                leader_trace.add_phase(PHASE_STORE, store_share)
                 observe_phases(self.registry, kind, leader_trace.phases[-1:])
             for occurrence, position in enumerate(positions):
                 if self.cache is None:
@@ -443,6 +551,10 @@ class SchedulingService:
                     kind=kind,
                     cache=response.cache,
                 )
+        # Serial-path executions ran scheduler memo caches in this process;
+        # fold their hit/miss deltas into the service registry (pooled chunks
+        # already shipped theirs inside the merged snapshots).
+        drain_memo_metrics(self.registry)
         self.last_traces = [trace.to_dict() for trace in traces]
         return [response for response in responses if response is not None]
 
@@ -460,21 +572,33 @@ class SchedulingService:
                 observe_phases(self.registry, self.METRICS_KIND, trace.phases[before:])
         else:
             submitted = time.monotonic()
-            jobs = [
-                (request, trace.trace_id, submitted) for _, request, trace in work
-            ]
-            chunksize = max(1, len(jobs) // (self.n_workers * 4))
-            outcomes = self._get_executor().map(
-                execute_request_observed, jobs, chunksize=chunksize
-            )
+            chunksize = self.chunksize or max(1, len(work) // (self.n_workers * 4))
+            executor = self._get_executor()
+            futures = []
+            for start in range(0, len(work), chunksize):
+                chunk = work[start : start + chunksize]
+                # Slim payload: each distinct scenario envelope crosses the
+                # process boundary once per chunk, not once per job.
+                scenarios: Dict[str, Any] = {}
+                entries = [
+                    slim_job_entry(request, key, trace.trace_id, scenarios)
+                    for key, request, trace in chunk
+                ]
+                futures.append(
+                    executor.submit(
+                        execute_schedule_chunk, (scenarios, entries, submitted)
+                    )
+                )
             results = []
-            for (_, _, trace), (response, trace_dict, snapshot) in zip(work, outcomes):
+            for future in futures:
+                outcomes, snapshot = future.result()
                 # The worker already observed its phases (queue-wait and
                 # compute) into the shipped snapshot; merging it here is what
                 # makes pooled totals equal serial totals.
                 self.registry.merge(snapshot)
-                trace.phases.extend(trace_dict["phases"])
-                results.append(response)
+                for response, trace_dict in outcomes:
+                    work[len(results)][2].phases.extend(trace_dict["phases"])
+                    results.append(response)
         self.computed += len(results)
         return {key: result for (key, _, _), result in zip(work, results)}
 

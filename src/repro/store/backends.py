@@ -40,7 +40,7 @@ import sqlite3
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.serialization import atomic_write_json, canonical_json
 
@@ -76,6 +76,29 @@ class CacheBackend(ABC):
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Persist ``payload`` under ``key`` (idempotent: first complete write
         wins; concurrent writers of one key always hold identical payloads)."""
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        """Payloads for every *present* key of ``keys`` (missing/corrupt omitted).
+
+        Each distinct key is consulted once, regardless of duplicates in the
+        iterable.  The generic implementation loops over :meth:`get`; backends
+        with a query interface (SQLite) answer a whole batch per statement.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in dict.fromkeys(keys):
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def put_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None:
+        """Persist a batch of ``(key, payload)`` pairs (same contract as :meth:`put`).
+
+        The generic implementation loops over :meth:`put`; backends with
+        transactions (SQLite) write the whole batch in one.
+        """
+        for key, payload in items:
+            self.put(key, payload)
 
     @abstractmethod
     def delete(self, key: str) -> bool:
@@ -324,6 +347,58 @@ class SqliteBackend(CacheBackend):
                     canonical_json(payload),
                 ),
             )
+
+    #: Maximum bound variables per batched SELECT (SQLite's historical limit
+    #: is 999; stay comfortably below it).
+    _MAX_QUERY_VARS = 500
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        distinct = list(dict.fromkeys(keys))
+        found: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            for lo in range(0, len(distinct), self._MAX_QUERY_VARS):
+                chunk = distinct[lo:lo + self._MAX_QUERY_VARS]
+                placeholders = ",".join("?" * len(chunk))
+                rows = self._connection.execute(
+                    f"SELECT key, payload FROM entries WHERE key IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+                for key, raw in rows:
+                    try:
+                        payload = json.loads(raw)
+                    except ValueError:
+                        continue
+                    if isinstance(payload, dict):
+                        found[key] = payload
+        return found
+
+    def put_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None:
+        rows = []
+        for key, payload in items:
+            kind = payload.get("kind")
+            version = payload.get("version")
+            rows.append(
+                (
+                    key,
+                    kind if isinstance(kind, str) else "",
+                    version if isinstance(version, int) else 0,
+                    canonical_json(payload),
+                )
+            )
+        if not rows:
+            return
+        with self._lock:
+            self._connection.execute("BEGIN")
+            try:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO entries (key, kind, version, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
 
     def delete(self, key: str) -> bool:
         with self._lock:

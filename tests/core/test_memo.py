@@ -1,0 +1,174 @@
+"""Tests of the process-local LRU memo primitive and its registry."""
+
+import pytest
+
+from repro.core.memo import (
+    DEFAULT_MEMO_CAPACITY,
+    LRUMemo,
+    drain_memo_metrics,
+    get_memo,
+    memo_stats,
+    reset_memos,
+)
+from repro.obs.metrics import MEMO_OPS_TOTAL, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def isolated_registry():
+    reset_memos()
+    yield
+    reset_memos()
+
+
+class TestLRUMemo:
+    def test_get_or_create_computes_once(self):
+        memo = LRUMemo("t", 4)
+        calls = []
+        value = memo.get_or_create("k", lambda: calls.append(1) or "v")
+        again = memo.get_or_create("k", lambda: calls.append(1) or "other")
+        assert value == again == "v"
+        assert calls == [1]
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_put_first_write_wins(self):
+        memo = LRUMemo("t", 4)
+        assert memo.put("k", "first") == "first"
+        assert memo.put("k", "second") == "first"
+        assert memo.get("k") == "first"
+
+    def test_capacity_bounds_entries_and_counts_evictions(self):
+        memo = LRUMemo("t", 2)
+        for key in ("a", "b", "c"):
+            memo.put(key, key.upper())
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        assert "a" not in memo  # oldest entry went first
+        assert memo.get("b") == "B" and memo.get("c") == "C"
+
+    def test_lookups_refresh_recency(self):
+        memo = LRUMemo("t", 2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        memo.get("a")  # refresh: b is now least recently used
+        memo.put("c", 3)
+        assert "a" in memo and "b" not in memo
+
+    def test_zero_capacity_disables_storage(self):
+        memo = LRUMemo("t", 0)
+        memo.put("k", "v")
+        assert len(memo) == 0
+        assert memo.get("k") is None
+        assert memo.misses == 1 and memo.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            LRUMemo("t", -1)
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        memo = LRUMemo("t", 4)
+        memo.put("k", "v")
+        memo.get("k")
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.hits == 1
+
+    def test_stats_shape(self):
+        memo = LRUMemo("t", 3)
+        memo.get("missing")
+        memo.put("k", "v")
+        memo.get("k")
+        assert memo.stats() == {
+            "entries": 1,
+            "capacity": 3,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_drain_deltas_moves_the_watermark(self):
+        memo = LRUMemo("t", 4)
+        memo.get("missing")
+        memo.put("k", "v")
+        memo.get("k")
+        assert memo.drain_deltas() == {"hit": 1, "miss": 1, "evict": 0}
+        # Nothing happened since: deltas are all zero, totals unchanged.
+        assert memo.drain_deltas() == {"hit": 0, "miss": 0, "evict": 0}
+        memo.get("k")
+        assert memo.drain_deltas() == {"hit": 1, "miss": 0, "evict": 0}
+        assert memo.hits == 2
+
+
+class TestRegistry:
+    def test_get_memo_returns_one_instance_per_name(self):
+        assert get_memo("alpha") is get_memo("alpha")
+        assert get_memo("alpha") is not get_memo("beta")
+
+    def test_later_capacity_defaults_do_not_resize(self):
+        memo = get_memo("alpha", 7)
+        assert get_memo("alpha", 99).capacity == 7
+        assert memo.capacity == 7
+
+    def test_default_capacity(self):
+        assert get_memo("alpha").capacity == DEFAULT_MEMO_CAPACITY
+
+    def test_memo_stats_covers_every_memo_sorted(self):
+        get_memo("beta").put("k", "v")
+        get_memo("alpha").get("missing")
+        stats = memo_stats()
+        assert list(stats) == ["alpha", "beta"]
+        assert stats["alpha"]["misses"] == 1
+        assert stats["beta"]["entries"] == 1
+
+    def test_reset_memos_forgets_everything(self):
+        get_memo("alpha", 7).put("k", "v")
+        reset_memos()
+        assert memo_stats() == {}
+        assert get_memo("alpha").capacity == DEFAULT_MEMO_CAPACITY
+
+    def test_env_variable_overrides_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMO_CAP_MY_MEMO", "3")
+        assert get_memo("my-memo", 128).capacity == 3
+
+    def test_env_variable_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMO_CAP_OFF", "0")
+        memo = get_memo("off", 128)
+        memo.put("k", "v")
+        assert memo.get("k") is None
+
+    def test_invalid_env_variable_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMO_CAP_BAD", "lots")
+        with pytest.raises(ValueError, match="REPRO_MEMO_CAP_BAD"):
+            get_memo("bad")
+        monkeypatch.setenv("REPRO_MEMO_CAP_BAD", "-1")
+        with pytest.raises(ValueError, match=">= 0"):
+            get_memo("bad")
+
+
+class TestDrainMemoMetrics:
+    def test_deltas_land_as_counters(self):
+        memo = get_memo("alpha", 4)
+        memo.get("missing")
+        memo.put("k", "v")
+        memo.get("k")
+        registry = MetricsRegistry()
+        drain_memo_metrics(registry)
+        assert registry.counter_value(MEMO_OPS_TOTAL, memo="alpha", op="hit") == 1
+        assert registry.counter_value(MEMO_OPS_TOTAL, memo="alpha", op="miss") == 1
+
+    def test_second_drain_without_activity_emits_nothing(self):
+        get_memo("alpha", 4).get("missing")
+        first = MetricsRegistry()
+        drain_memo_metrics(first)
+        second = MetricsRegistry()
+        drain_memo_metrics(second)
+        assert second.counter_value(MEMO_OPS_TOTAL, memo="alpha", op="miss") == 0
+
+    def test_merged_worker_snapshots_reconstruct_totals(self):
+        # Two "workers": each drains its own deltas, the dispatcher merges.
+        dispatcher = MetricsRegistry()
+        for _ in range(2):
+            get_memo("alpha", 4).get("missing")
+            worker = MetricsRegistry()
+            drain_memo_metrics(worker)
+            dispatcher.merge(worker.snapshot())
+        assert dispatcher.counter_value(MEMO_OPS_TOTAL, memo="alpha", op="miss") == 2

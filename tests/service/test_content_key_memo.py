@@ -1,0 +1,97 @@
+"""Content keys are memoised on frozen envelopes — computed once, never stale.
+
+The memo must be invisible: repeat calls return the identical string without
+re-canonicalising (counted by monkeypatching the canonical-JSON encoder), and
+nothing about serialised envelopes changes whether or not the key was ever
+computed.
+"""
+
+import pickle
+
+import pytest
+
+import repro.core.serialization as serialization
+from repro.campaign import CampaignSpec
+from repro.runtime import SimulationRequest
+from repro.scenario import create_scenario
+from repro.service import ScheduleRequest
+
+
+@pytest.fixture()
+def count_canonical_json(monkeypatch):
+    """Count invocations of the canonical-JSON encoder behind content_hash."""
+    calls = []
+    original = serialization.canonical_json
+
+    def counting(obj):
+        calls.append(obj)
+        return original(obj)
+
+    monkeypatch.setattr(serialization, "canonical_json", counting)
+    return calls
+
+
+def envelopes():
+    scenario = create_scenario("short-hyperperiod")
+    return [
+        scenario,
+        ScheduleRequest(scenario=scenario, spec="static", system_index=1),
+        SimulationRequest(scenario=scenario, method="static", system_index=1),
+        CampaignSpec(
+            name="memo",
+            scenarios=("short-hyperperiod",),
+            methods=("static",),
+            n_systems=1,
+            utilisations=(0.4,),
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "envelope", envelopes(), ids=lambda e: type(e).__name__
+)
+class TestContentKeyMemo:
+    def test_repeat_calls_skip_rehashing(self, envelope, count_canonical_json):
+        first = envelope.content_key()
+        assert count_canonical_json  # the first call canonicalises
+        count_canonical_json.clear()
+        assert envelope.content_key() == first
+        assert count_canonical_json == []  # the second call does not
+
+    def test_memo_matches_a_fresh_instance(self, envelope):
+        envelope.content_key()
+        fresh = type(envelope).from_json(envelope.to_json())
+        assert fresh.content_key() == envelope.content_key()
+
+    def test_memo_never_enters_the_envelope(self, envelope):
+        before = envelope.to_json()
+        envelope.content_key()
+        assert envelope.to_json() == before
+
+    def test_pickle_round_trip_preserves_the_key(self, envelope):
+        envelope.content_key()
+        clone = pickle.loads(pickle.dumps(envelope))
+        assert clone.content_key() == envelope.content_key()
+        assert clone == envelope
+
+
+class TestSlimPickles:
+    def test_schedule_request_pickle_drops_materialized_task_set(self):
+        request = ScheduleRequest(
+            scenario=create_scenario("short-hyperperiod"), spec="static"
+        )
+        request.effective_task_set()  # populate the lazy materialisation
+        assert "_materialized_task_set" in request.__dict__
+        clone = pickle.loads(pickle.dumps(request))
+        assert "_materialized_task_set" not in clone.__dict__
+        assert clone == request
+
+    def test_cached_content_key_rides_in_pickles(self, count_canonical_json):
+        request = ScheduleRequest(
+            scenario=create_scenario("short-hyperperiod"), spec="static"
+        )
+        key = request.content_key()
+        clone = pickle.loads(pickle.dumps(request))
+        count_canonical_json.clear()
+        assert clone.content_key() == key
+        assert count_canonical_json == []  # the worker never re-hashes
